@@ -1,0 +1,60 @@
+"""Definition 4.1 / Proposition 5.5: boundedness probes.
+
+Bounded vs unbounded chain programs separated two ways: the exact
+CFG-finiteness decision and the empirical fixpoint-iteration profile
+(flat vs growing) on word-path inputs.
+"""
+
+from conftest import run_sweep
+
+from repro.boundedness import chain_program_boundedness, empirical_iteration_probe
+from repro.datalog import Database, transitive_closure
+from repro.grammars import rpq_program
+from repro.workloads import path_graph
+
+SIZES = (4, 8, 16, 32)
+
+
+def finite_family(n: int) -> Database:
+    edges = [(i, "a", i + 1) for i in range(n)] + [(i, "b", i + 1) for i in range(n)]
+    return Database.from_labeled_edges(edges)
+
+
+def probe_both():
+    tc_report = empirical_iteration_probe(transitive_closure(), path_graph, SIZES)
+    finite_program, _ = rpq_program("ab|ba")
+    finite_report = empirical_iteration_probe(finite_program, finite_family, SIZES)
+    return tc_report, finite_report
+
+
+def test_boundedness_probes(benchmark):
+    tc_decision = chain_program_boundedness(transitive_closure())
+    finite_program, _ = rpq_program("ab|ba")
+    finite_decision = chain_program_boundedness(finite_program)
+    assert tc_decision.bounded is False
+    assert finite_decision.bounded is True
+
+    tc_report, finite_report = probe_both()
+    rows = [
+        dict(n=n, m=n, size=it, depth=0, extra="TC (unbounded)")
+        for n, it in tc_report.evidence
+    ]
+    run_sweep(
+        "Def 4.1 probe / TC: fixpoint iterations grow with input size",
+        claimed_size="n",
+        claimed_depth=None,
+        rows=rows,
+    )
+    rows = [
+        dict(n=n, m=2 * n, size=it, depth=0, extra="finite RPQ (bounded)")
+        for n, it in finite_report.evidence
+    ]
+    report = run_sweep(
+        "Def 4.1 probe / finite RPQ ab|ba: iterations flat",
+        claimed_size="1",
+        claimed_depth=None,
+        rows=rows,
+    )
+    assert tc_report.bounded is False
+    assert report.size_ok(), "bounded program's iteration count is not constant"
+    benchmark(probe_both)

@@ -1,0 +1,69 @@
+"""Theorem 3.2 + Proposition 3.3: the formula ⟷ circuit-depth bridge.
+
+Measures, on growing balanced-friendly circuits: (a) the expansion's
+depth preservation (Prop 3.3) and (b) the balanced formula's
+O(log size) depth (Thm 3.2), with equivalence verified by canonical
+polynomials on the smaller sizes.
+"""
+
+import math
+
+from conftest import run_sweep
+
+from repro.circuits import (
+    balance_formula,
+    canonical_polynomial,
+    circuit_to_formula,
+    formula_depth_bound,
+)
+from repro.constructions import finite_rpq_circuit
+from repro.grammars import parse_regex
+
+
+DFA = parse_regex("abc").to_dfa()
+SWEEP = (16, 32, 64, 128)
+REPRESENTATIVE = 64
+
+
+def witness_rich_graph(num_edges: int):
+    k = max(num_edges // 3, 2)
+    edges = []
+    for i in range(k):
+        edges.append(("s", "a", ("u", i)))
+        edges.append((("u", i), "b", ("v", i)))
+        edges.append((("v", i), "c", "t"))
+    return edges
+
+
+def build_formula(num_edges: int):
+    circuit = finite_rpq_circuit(witness_rich_graph(num_edges), DFA, "s", "t")
+    formula = circuit_to_formula(circuit)
+    return circuit, formula, balance_formula(formula)
+
+
+def test_formula_transfer(benchmark):
+    rows = []
+    for m in SWEEP:
+        circuit, formula, balanced = build_formula(m)
+        assert formula.depth == circuit.depth  # Prop 3.3: depth preserved
+        assert balanced.depth <= formula_depth_bound(formula.size)  # Thm 3.2
+        if m <= 32:
+            assert canonical_polynomial(balanced) == canonical_polynomial(circuit)
+        rows.append(
+            dict(
+                n=m,
+                m=m,
+                size=formula.size,
+                depth=balanced.depth,
+                extra=f"circuit depth={circuit.depth} bound={formula_depth_bound(formula.size)}",
+            )
+        )
+    report = run_sweep(
+        "Thm 3.2 + Prop 3.3: balanced formula depth O(log size)",
+        claimed_size=None,
+        claimed_depth="log n",
+        rows=rows,
+        scale="m",
+    )
+    assert report.depth_ok()
+    benchmark(lambda: build_formula(REPRESENTATIVE)[2])

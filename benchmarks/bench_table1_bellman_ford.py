@@ -1,0 +1,36 @@
+"""Table 1, row 2a (infinite regular, Bellman–Ford): size O(mn),
+depth O(n log n).
+
+Workload: TC (the canonical infinite RPQ, language E*) on random
+digraphs with m = 3n, sweeping n.  Construction: Theorem 5.6.
+"""
+
+from conftest import run_sweep
+
+from repro.circuits import measure
+from repro.constructions import bellman_ford_circuit
+from repro.workloads import random_digraph
+
+SWEEP = (8, 16, 24, 32, 48)
+REPRESENTATIVE = 32
+
+
+def build(n: int):
+    db = random_digraph(n, 3 * n, seed=n)
+    return bellman_ford_circuit(db, 0, n - 1)
+
+
+def test_table1_bellman_ford(benchmark):
+    rows = []
+    for n in SWEEP:
+        metrics = measure(build(n))
+        rows.append(dict(n=n, m=3 * n, size=metrics.size, depth=metrics.depth))
+    report = run_sweep(
+        "Table 1 / infinite regular (Bellman–Ford): size O(mn)=O(n²), depth O(n log n)",
+        claimed_size="n^2",  # m = 3n ⇒ mn = 3n²
+        claimed_depth="n log n",
+        rows=rows,
+    )
+    assert report.size_ok(), "Bellman–Ford circuit size is not O(mn)"
+    assert report.depth_ok(), "Bellman–Ford circuit depth is not O(n log n)"
+    benchmark(build, REPRESENTATIVE)

@@ -1,0 +1,69 @@
+"""Table 1, row 3 (infinite non-regular CFG): size O(n⁵),
+depth O(n² log n) for the naive-layer circuit, and the matching
+Ω(log² n) / O(log² ·) story via the UVG circuit (Example 6.4).
+
+Workload: Dyck-1 reachability on maximally nested bracket paths
+``Lᵈ Rᵈ`` (n = 2d + 1 vertices).  Constructions: Theorem 3.1 (the
+grounded-program layer circuit whose grounding realizes the O(n⁵)
+bound class) and Theorem 6.2 (UVG, the depth-optimal one).
+"""
+
+from conftest import run_sweep
+
+from repro.circuits import measure
+from repro.constructions import fringe_circuit, generic_circuit
+from repro.datalog import Database, Fact, dyck1
+from repro.workloads import dyck_concatenated_path
+
+PROGRAM = dyck1()
+SWEEP = (2, 3, 4, 5, 6)
+REPRESENTATIVE = 4
+
+
+def workload(pairs: int):
+    """(LR)^pairs: Catalan-many derivations per span, so the grounded
+    program (and hence the circuit) grows genuinely with n -- the
+    nested path Lᵈ Rᵈ has a single derivation and prunes to O(d)."""
+    return Database.from_labeled_edges(dyck_concatenated_path(pairs))
+
+
+def build_generic(pairs: int):
+    return generic_circuit(PROGRAM, workload(pairs), Fact("S", (0, 2 * pairs)))
+
+
+def build_uvg(pairs: int):
+    return fringe_circuit(PROGRAM, workload(pairs), Fact("S", (0, 2 * pairs)))
+
+
+def test_table1_cfg_naive_layers(benchmark):
+    rows = []
+    for pairs in SWEEP:
+        metrics = measure(build_generic(pairs))
+        n = 2 * pairs + 1
+        rows.append(dict(n=n, m=2 * pairs, size=metrics.size, depth=metrics.depth))
+    report = run_sweep(
+        "Table 1 / infinite CFG (naive layers): size O(n⁵), depth O(n² log n)",
+        claimed_size="n^5",
+        claimed_depth="n^2 log n",
+        rows=rows,
+    )
+    assert report.size_ok(), "naive-layer CFG circuit size exceeds O(n⁵)"
+    assert report.depth_ok(), "naive-layer CFG circuit depth exceeds O(n² log n)"
+    benchmark(build_generic, REPRESENTATIVE)
+
+
+def test_table1_cfg_uvg_depth(benchmark):
+    rows = []
+    for pairs in SWEEP:
+        metrics = measure(build_uvg(pairs))
+        n = 2 * pairs + 1
+        rows.append(dict(n=n, m=2 * pairs, size=metrics.size, depth=metrics.depth))
+    report = run_sweep(
+        "Table 1 / infinite CFG (UVG, Thm 6.2): depth O(log² m) for poly-fringe",
+        claimed_size="n^5",
+        claimed_depth="log^2 n",
+        rows=rows,
+        scale="m",
+    )
+    assert report.depth_ok(), "UVG circuit depth is not O(log² m)"
+    benchmark(build_uvg, REPRESENTATIVE)

@@ -1,0 +1,58 @@
+"""Table 1, row 1 (finite CFG/RPQ): size O(m) / Ω(m), depth Θ(log n).
+
+Workload: the finite RPQ ``abc`` on random labeled digraphs with a
+guaranteed witness path, sweeping the number of edges.  The circuit is
+Theorem 5.8's construction; the report checks the measured growth
+against both claimed bounds.
+"""
+
+import pytest
+
+from conftest import run_sweep
+
+from repro.circuits import measure
+from repro.constructions import finite_rpq_circuit
+from repro.grammars import parse_regex
+
+
+DFA = parse_regex("abc").to_dfa()
+SWEEP = (32, 64, 128, 256, 512)
+REPRESENTATIVE = 256
+
+
+def witness_rich_graph(num_edges: int):
+    """A 3-stage layered graph: s -a→ uᵢ -b→ vᵢ -c→ t (k = m/3 chains).
+
+    Every chain is an answer witness, so the circuit genuinely scales
+    with m (a sparse random graph would be pruned to a constant)."""
+    k = max(num_edges // 3, 2)
+    edges = []
+    for i in range(k):
+        edges.append(("s", "a", ("u", i)))
+        edges.append((("u", i), "b", ("v", i)))
+        edges.append((("v", i), "c", "t"))
+    return edges
+
+
+def build(num_edges: int):
+    return finite_rpq_circuit(witness_rich_graph(num_edges), DFA, "s", "t")
+
+
+def test_table1_finite_rpq(benchmark):
+    rows = []
+    for m in SWEEP:
+        circuit = build(m)
+        metrics = measure(circuit)
+        rows.append(
+            dict(n=2 * (m // 3) + 2, m=m, size=metrics.size, depth=metrics.depth)
+        )
+    report = run_sweep(
+        "Table 1 / finite CFG: claimed size O(m), depth O(log n)",
+        claimed_size="n",  # m ∝ n in this sweep; fit against the m column
+        claimed_depth="log n",
+        rows=rows,
+        scale="m",
+    )
+    assert report.size_ok(), "finite RPQ circuit size is not O(m)"
+    assert report.depth_ok(), "finite RPQ circuit depth is not O(log n)"
+    benchmark(build, REPRESENTATIVE)

@@ -1,0 +1,63 @@
+"""Theorem 5.9: both reductions are size- and depth-preserving.
+
+Measures TC → infinite-RPQ (instance blow-up is the constant |xyz|)
+and RPQ → TC (product + per-accept-state union), reporting
+instance/circuit sizes and verifying depth preservation across a sweep
+of input graphs.
+"""
+
+from conftest import run_sweep
+
+from repro.circuits import measure
+from repro.constructions import squaring_circuit
+from repro.grammars import parse_regex
+from repro.reductions import (
+    rpq_circuit_via_tc,
+    tc_to_rpq_instance,
+    transfer_rpq_circuit_to_tc,
+)
+from repro.workloads import random_digraph
+
+DFA = parse_regex("(ab)+").to_dfa()
+SWEEP = (6, 10, 14, 18)
+REPRESENTATIVE = 10
+
+
+def roundtrip(n: int):
+    db = random_digraph(n, 2 * n, seed=n)
+    edges = sorted(db.tuples("E"))
+    instance = tc_to_rpq_instance(edges, 0, n - 1, DFA)
+    rpq_circuit = rpq_circuit_via_tc(
+        instance.labeled_edges, DFA, instance.source, instance.sink,
+        tc_builder=squaring_circuit,
+    )
+    tc_circuit = transfer_rpq_circuit_to_tc(instance, rpq_circuit)
+    return instance, rpq_circuit, tc_circuit
+
+
+def test_thm59_reduction_roundtrip(benchmark):
+    rows = []
+    for n in SWEEP:
+        instance, rpq_circuit, tc_circuit = roundtrip(n)
+        assert tc_circuit.depth <= rpq_circuit.depth  # depth preservation
+        assert tc_circuit.size <= rpq_circuit.size + len(instance.wire_map) + 2
+        rows.append(
+            dict(
+                n=n,
+                m=2 * n,
+                size=tc_circuit.size,
+                depth=tc_circuit.depth,
+                extra=(
+                    f"instance m={instance.size}, rpq size={rpq_circuit.size} "
+                    f"depth={rpq_circuit.depth}"
+                ),
+            )
+        )
+    report = run_sweep(
+        "Thm 5.9 / TC↔RPQ roundtrip: transferred circuit keeps O(log² n) depth",
+        claimed_size="n^3 log n",
+        claimed_depth="log^2 n",
+        rows=rows,
+    )
+    assert report.depth_ok(), "reduction did not preserve the polylog depth"
+    benchmark(roundtrip, REPRESENTATIVE)

@@ -1,0 +1,55 @@
+"""Theorem 6.2 / Corollary 6.3: polynomial-fringe programs (here, a
+linear monadic program and non-linear Dyck-1) admit O(log² |I|)-depth
+circuits via the Ullman–Van Gelder construction.
+"""
+
+from conftest import run_sweep
+
+from repro.circuits import measure
+from repro.constructions import fringe_circuit
+from repro.datalog import Database, Fact, dyck1, reachability
+from repro.workloads import dyck_nested_path, path_graph
+
+SWEEP_REACH = (4, 8, 12, 16)
+SWEEP_DYCK = (2, 3, 4, 5)
+
+
+def build_reach(n: int):
+    db = path_graph(n)
+    db.add("A", n)
+    return fringe_circuit(reachability(), db, Fact("U", (0,)))
+
+
+def build_dyck(depth: int):
+    db = Database.from_labeled_edges(dyck_nested_path(depth))
+    return fringe_circuit(dyck1(), db, Fact("S", (0, 2 * depth)))
+
+
+def test_thm62_linear_monadic(benchmark):
+    rows = []
+    for n in SWEEP_REACH:
+        metrics = measure(build_reach(n))
+        rows.append(dict(n=n, m=n + 1, size=metrics.size, depth=metrics.depth))
+    report = run_sweep(
+        "Thm 6.2 / linear monadic reachability: depth O(log² |I|)",
+        claimed_size="n^3 log n",
+        claimed_depth="log^2 n",
+        rows=rows,
+    )
+    assert report.depth_ok(), "UVG depth is not O(log² |I|) on linear monadic"
+    benchmark(build_reach, 12)
+
+
+def test_thm62_dyck(benchmark):
+    rows = []
+    for depth in SWEEP_DYCK:
+        metrics = measure(build_dyck(depth))
+        rows.append(dict(n=2 * depth + 1, m=2 * depth, size=metrics.size, depth=metrics.depth))
+    report = run_sweep(
+        "Thm 6.2 / Dyck-1 (Ex 6.4, non-linear poly-fringe): depth O(log² |I|)",
+        claimed_size="n^5",
+        claimed_depth="log^2 n",
+        rows=rows,
+    )
+    assert report.depth_ok(), "UVG depth is not O(log² |I|) on Dyck-1"
+    benchmark(build_dyck, 4)

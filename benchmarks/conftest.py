@@ -1,0 +1,27 @@
+"""Shared benchmark helpers.
+
+Every bench follows the same recipe: sweep input scales, measure the
+built circuit's size/depth, print the Table-1-style report with a
+PASS/FAIL verdict against the paper's claimed bound, and let
+pytest-benchmark time the construction at a representative scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import SweepReport
+
+
+def run_sweep(title, claimed_size, claimed_depth, rows, scale="n"):
+    """Build, print and sanity-check a sweep report; returns it."""
+    report = SweepReport(title, claimed_size, claimed_depth, scale=scale)
+    for row in rows:
+        report.add(**row)
+    report.print()
+    return report
+
+
+@pytest.fixture(scope="session")
+def sweeps_printed():
+    return set()

@@ -1,0 +1,54 @@
+"""Formulas vs circuits: the paper's central trade-off, measured.
+
+* Bounded programs: O(log n)-depth circuits → polynomial-size formulas
+  (Thm 4.3 + Prop 3.3), re-balanced to O(log size) depth (Thm 3.2).
+* Transitive closure: the O(log² n)-depth squaring circuit (Thm 5.7)
+  expands to formulas whose size explodes super-polynomially -- the
+  measured face of the Karchmer–Wigderson lower bound (Thm 3.4).
+
+Run:  python examples/formula_vs_circuit.py
+"""
+
+from repro.circuits import balance_formula, canonical_polynomial, circuit_to_formula
+from repro.constructions import bounded_circuit, squaring_circuit
+from repro.datalog import Fact, bounded_example
+from repro.workloads import path_graph, random_digraph
+
+
+def main() -> None:
+    print("=== bounded program (Ex 4.2): formulas stay polynomial ===")
+    program = bounded_example()
+    print(f"{'n':>4} {'circuit size':>13} {'circuit depth':>14} {'formula size':>13} {'balanced depth':>15}")
+    for n in (4, 8, 16, 32):
+        db = path_graph(n)
+        db.add("A", 0)
+        db.add("A", 1)
+        circuit = bounded_circuit(program, db, bound=2, facts=Fact("T", (0, 3)))
+        formula = circuit_to_formula(circuit)
+        balanced = balance_formula(formula)
+        assert canonical_polynomial(balanced) == canonical_polynomial(circuit)
+        print(
+            f"{n:>4} {circuit.size:>13} {circuit.depth:>14} "
+            f"{formula.size:>13} {balanced.depth:>15}"
+        )
+
+    print("\n=== transitive closure: formula expansion explodes ===")
+    print(f"{'n':>4} {'circuit size':>13} {'circuit depth':>14} {'formula size':>13}")
+    for n in (4, 5, 6, 7):
+        db = random_digraph(n, 2 * n, seed=n)
+        circuit = squaring_circuit(db, 0, n - 1)
+        try:
+            formula = circuit_to_formula(circuit, max_size=2_000_000)
+            formula_size = str(formula.size)
+        except MemoryError:
+            formula_size = "> 2,000,000"
+        print(f"{n:>4} {circuit.size:>13} {circuit.depth:>14} {formula_size:>13}")
+    print(
+        "\nThe circuit stays polynomial (Thm 3.1/5.7) while its formula\n"
+        "expansion grows super-polynomially -- TC provenance has no small\n"
+        "formulas (Thm 3.4 + Thm 3.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

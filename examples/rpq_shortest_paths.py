@@ -1,0 +1,63 @@
+"""Regular Path Queries over a weighted knowledge-graph-style network.
+
+The RPQ `flight (flight | train)*` asks for journeys that start with a
+flight and continue by any mix of flights and trains.  Evaluating its
+provenance over the tropical semiring yields the cheapest qualifying
+journey per city pair; over the Viterbi semiring, the most reliable
+one.  Demonstrates the Theorem 5.3 dichotomy test and both RPQ
+evaluation paths (fixpoint vs TC-reduction circuit, Theorem 5.9).
+
+Run:  python examples/rpq_shortest_paths.py
+"""
+
+from repro.circuits import evaluate
+from repro.datalog import Fact
+from repro.grammars import SymbolRegex, solve_rpq
+from repro.reductions import rpq_circuit_via_tc
+from repro.semirings import TROPICAL, VITERBI
+
+
+def main() -> None:
+    flight, train = SymbolRegex("flight"), SymbolRegex("train")
+    regex = flight + (flight | train).star()
+    dfa = regex.to_dfa()
+    print(f"RPQ: flight (flight|train)*   -> DFA with {dfa.num_states} states")
+    print(f"language finite? {dfa.is_finite()}  (infinite ⇒ as hard as TC, Thm 5.9)\n")
+
+    edges = [
+        ("ATH", "flight", "VIE"),
+        ("VIE", "train", "MUC"),
+        ("MUC", "train", "PAR"),
+        ("VIE", "flight", "PAR"),
+        ("ATH", "flight", "PAR"),
+        ("PAR", "train", "LON"),
+    ]
+    cost = {
+        Fact("flight", ("ATH", "VIE")): 120.0,
+        Fact("train", ("VIE", "MUC")): 40.0,
+        Fact("train", ("MUC", "PAR")): 60.0,
+        Fact("flight", ("VIE", "PAR")): 90.0,
+        Fact("flight", ("ATH", "PAR")): 260.0,
+        Fact("train", ("PAR", "LON")): 80.0,
+    }
+    reliability = {fact: 0.95 if fact.predicate == "train" else 0.85 for fact in cost}
+
+    print("cheapest qualifying journey per pair (tropical semiring):")
+    for (origin, dest), value in sorted(solve_rpq(edges, dfa, TROPICAL, weights=cost).items()):
+        print(f"  {origin} -> {dest}: {value:7.1f}")
+
+    print("\nmost reliable journey per pair (Viterbi semiring):")
+    for (origin, dest), value in sorted(
+        solve_rpq(edges, dfa, VITERBI, weights=reliability).items()
+    ):
+        print(f"  {origin} -> {dest}: {value:6.3f}")
+
+    print("\ncircuit route (Theorem 5.9 reduction to TC) for ATH -> LON:")
+    circuit = rpq_circuit_via_tc(edges, dfa, "ATH", "LON")
+    print(f"  circuit size={circuit.size}, depth={circuit.depth}")
+    print(f"  tropical value : {evaluate(circuit, TROPICAL, cost):.1f}")
+    print(f"  viterbi value  : {evaluate(circuit, VITERBI, reliability):.3f}")
+
+
+if __name__ == "__main__":
+    main()

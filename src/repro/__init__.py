@@ -1,0 +1,49 @@
+"""repro: Circuits and Formulas for Datalog over Semirings (PODS 2025).
+
+A full reproduction of Fan, Koutris & Roy, *Circuits and Formulas for
+Datalog over Semirings* (PODS 2025): semirings and provenance
+polynomials, an array-backed circuit/formula substrate, a Datalog
+engine over semirings, grammar/automata machinery for basic chain
+Datalog, every circuit construction of Sections 3--6, the lower-bound
+reductions, boundedness analysis, and a benchmark harness that
+re-measures Table 1 and Figure 1.
+
+Quickstart::
+
+    from repro.datalog import Database
+    from repro.constructions import bellman_ford_circuit
+    from repro.circuits import evaluate
+    from repro.semirings import TROPICAL
+
+    db = Database.from_edges([(0, 1), (1, 2), (0, 2)])
+    circuit = bellman_ford_circuit(db, source=0, sink=2)
+    weights = {fact: 1.0 for fact in db.facts()}
+    print(evaluate(circuit, TROPICAL, weights))   # shortest path: 1.0
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    analysis,
+    boundedness,
+    circuits,
+    constructions,
+    datalog,
+    grammars,
+    reductions,
+    semirings,
+    workloads,
+)
+
+__all__ = [
+    "analysis",
+    "boundedness",
+    "circuits",
+    "constructions",
+    "datalog",
+    "grammars",
+    "reductions",
+    "semirings",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Growth fitting and bench reporting (the Table-1 shape checks)."""
+
+from .fitting import (
+    GROWTH_MODELS,
+    FitResult,
+    GrowthModel,
+    best_fit,
+    consistent_with,
+    dominance_ratio,
+)
+from .report import SweepReport, SweepRow
+
+__all__ = [
+    "GrowthModel",
+    "GROWTH_MODELS",
+    "FitResult",
+    "best_fit",
+    "consistent_with",
+    "dominance_ratio",
+    "SweepReport",
+    "SweepRow",
+]

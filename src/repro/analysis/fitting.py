@@ -1,0 +1,139 @@
+"""Growth-model fitting: checking Table 1's asymptotic shapes.
+
+The paper's evaluation artifact is a grid of asymptotic bounds.  The
+benchmarks measure concrete circuit sizes/depths across an input sweep
+and this module decides which growth model fits best:
+
+    c, log n, log² n, n, n log n, n², n³, n⁵, 2ⁿ
+
+Each model is fit by least squares on the single scale coefficient
+``a`` in ``y ≈ a · f(n)`` (plus an intercept), and ranked by residual
+sum of squares on normalized data.  :func:`consistent_with` gives the
+benchmark PASS criterion: the measured sequence grows no faster than
+the claimed bound (up-to-constant dominance on the sweep), which is
+the right check for *upper*-bound rows, while :func:`best_fit`
+reports the closest shape for the report tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+__all__ = ["GrowthModel", "GROWTH_MODELS", "FitResult", "best_fit", "consistent_with", "dominance_ratio"]
+
+
+@dataclass(frozen=True)
+class GrowthModel:
+    name: str
+    fn: Callable[[float], float]
+
+    def __call__(self, n: float) -> float:
+        return self.fn(n)
+
+
+def _safe_log(n: float) -> float:
+    return math.log(max(n, 2.0))
+
+
+GROWTH_MODELS: Tuple[GrowthModel, ...] = (
+    GrowthModel("1", lambda n: 1.0),
+    GrowthModel("log n", _safe_log),
+    GrowthModel("log^2 n", lambda n: _safe_log(n) ** 2),
+    GrowthModel("n", lambda n: n),
+    GrowthModel("n log n", lambda n: n * _safe_log(n)),
+    GrowthModel("n^2", lambda n: n**2),
+    GrowthModel("n^2 log n", lambda n: n**2 * _safe_log(n)),
+    GrowthModel("n^3", lambda n: n**3),
+    GrowthModel("n^3 log n", lambda n: n**3 * _safe_log(n)),
+    GrowthModel("n^5", lambda n: n**5),
+    GrowthModel("2^n", lambda n: 2.0 ** min(n, 60)),
+)
+
+_MODEL_BY_NAME: Dict[str, GrowthModel] = {m.name: m for m in GROWTH_MODELS}
+
+
+@dataclass
+class FitResult:
+    """Ranked fits for one measured series."""
+
+    sizes: List[float]
+    values: List[float]
+    scores: Dict[str, float]
+    best: str
+    coefficient: float
+
+    def __repr__(self) -> str:
+        return f"FitResult(best={self.best!r}, a={self.coefficient:.3g})"
+
+
+def _fit_single(model: GrowthModel, xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float, float]:
+    """Least-squares ``y = a·f(x) + b``; returns (a, b, rss on normalized y)."""
+    fs = [model(x) for x in xs]
+    n = len(xs)
+    mean_f = sum(fs) / n
+    mean_y = sum(ys) / n
+    var_f = sum((f - mean_f) ** 2 for f in fs)
+    if var_f == 0:
+        a = 0.0
+    else:
+        a = sum((f - mean_f) * (y - mean_y) for f, y in zip(fs, ys)) / var_f
+    b = mean_y - a * mean_f
+    scale = max(abs(y) for y in ys) or 1.0
+    rss = sum(((a * f + b - y) / scale) ** 2 for f, y in zip(fs, ys))
+    # Penalize negative slopes: growth models must grow.
+    if a < 0:
+        rss += 1.0
+    return a, b, rss
+
+
+def best_fit(
+    sizes: Sequence[float],
+    values: Sequence[float],
+    models: Sequence[GrowthModel] = GROWTH_MODELS,
+) -> FitResult:
+    """Rank *models* against the measured series; lowest RSS wins."""
+    if len(sizes) != len(values):
+        raise ValueError("sizes and values must align")
+    if len(sizes) < 3:
+        raise ValueError("need at least 3 points to fit a growth model")
+    scores: Dict[str, float] = {}
+    coefficients: Dict[str, float] = {}
+    for model in models:
+        a, _b, rss = _fit_single(model, sizes, values)
+        scores[model.name] = rss
+        coefficients[model.name] = a
+    best_name = min(scores, key=scores.get)
+    return FitResult(list(sizes), list(values), scores, best_name, coefficients[best_name])
+
+
+def dominance_ratio(
+    sizes: Sequence[float], values: Sequence[float], bound: str
+) -> float:
+    """``max_i value_i / f(n_i)`` over the sweep, normalized so that a
+    bounded (O(f)) series yields a stable, small ratio spread."""
+    model = _MODEL_BY_NAME[bound]
+    ratios = [v / max(model(n), 1e-12) for n, v in zip(sizes, values)]
+    return max(ratios) / max(min(ratios), 1e-12)
+
+
+def consistent_with(
+    sizes: Sequence[float],
+    values: Sequence[float],
+    bound: str,
+    tolerance: float = 4.0,
+) -> bool:
+    """PASS criterion for an ``O(f)`` claim on a sweep.
+
+    The normalized ratios ``value/f(n)`` must not drift upward by more
+    than *tolerance*× across the sweep (a series truly growing faster
+    than ``f`` has monotonically exploding ratios; constants cancel).
+    """
+    model = _MODEL_BY_NAME[bound]
+    ratios = [v / max(model(n), 1e-12) for n, v in zip(sizes, values)]
+    # Compare the tail against the head rather than max/min, so noise
+    # in the middle of the sweep does not flip the verdict.
+    head = max(ratios[0], 1e-12)
+    tail = ratios[-1]
+    return tail / head <= tolerance

@@ -1,0 +1,79 @@
+"""Benchmark report tables.
+
+Formats the sweep measurements the way the paper's Table 1 rows read:
+one line per input scale with measured size/depth, then the best-fit
+growth model and the claimed bound with a PASS/FAIL verdict.  Used by
+every file in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .fitting import best_fit, consistent_with
+
+__all__ = ["SweepRow", "SweepReport"]
+
+
+@dataclass
+class SweepRow:
+    """One measurement at one input scale."""
+
+    n: int
+    m: int
+    size: int
+    depth: int
+    extra: str = ""
+
+
+@dataclass
+class SweepReport:
+    """A measured sweep with claimed bounds for size and depth."""
+
+    title: str
+    claimed_size: Optional[str]
+    claimed_depth: Optional[str]
+    rows: List[SweepRow] = field(default_factory=list)
+    scale: str = "n"  # which column drives the fit: "n" or "m"
+
+    def add(self, n: int, m: int, size: int, depth: int, extra: str = "") -> None:
+        self.rows.append(SweepRow(n, m, size, depth, extra))
+
+    def _xs(self) -> List[float]:
+        return [float(row.n if self.scale == "n" else row.m) for row in self.rows]
+
+    def size_ok(self, tolerance: float = 4.0) -> bool:
+        if self.claimed_size is None:
+            return True
+        return consistent_with(self._xs(), [r.size for r in self.rows], self.claimed_size, tolerance)
+
+    def depth_ok(self, tolerance: float = 4.0) -> bool:
+        if self.claimed_depth is None:
+            return True
+        return consistent_with(self._xs(), [r.depth for r in self.rows], self.claimed_depth, tolerance)
+
+    def render(self) -> str:
+        lines = [f"== {self.title} =="]
+        header = f"{'n':>6} {'m':>8} {'size':>10} {'depth':>7}  extra"
+        lines.append(header)
+        for row in self.rows:
+            lines.append(
+                f"{row.n:>6} {row.m:>8} {row.size:>10} {row.depth:>7}  {row.extra}"
+            )
+        xs = self._xs()
+        if len(self.rows) >= 3:
+            size_fit = best_fit(xs, [r.size for r in self.rows])
+            depth_fit = best_fit(xs, [r.depth for r in self.rows])
+            lines.append(
+                f"size : best fit ~ {size_fit.best:<10} claimed O({self.claimed_size})"
+                f" -> {'PASS' if self.size_ok() else 'FAIL'}"
+            )
+            lines.append(
+                f"depth: best fit ~ {depth_fit.best:<10} claimed O({self.claimed_depth})"
+                f" -> {'PASS' if self.depth_ok() else 'FAIL'}"
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print("\n" + self.render())

@@ -1,0 +1,39 @@
+"""Boundedness of Datalog over semirings (Section 4).
+
+CQ homomorphisms and ``Chom`` UCQ containment (Theorem 4.6's
+machinery), the exact CFG-finiteness decision for chain programs
+(Proposition 5.5), a homomorphism-based boundedness certifier for
+linear programs, and the Definition 4.1 empirical iteration probe.
+"""
+
+from .checker import (
+    BoundednessReport,
+    analyze_boundedness,
+    chain_program_boundedness,
+    empirical_iteration_probe,
+    expansion_boundedness_certificate,
+)
+from .ucq_equivalence import equivalent_ucq, ucq_answers, ucq_matches_program
+from .homomorphism import (
+    cq_contained_in,
+    cq_equivalent,
+    find_homomorphism,
+    has_homomorphism,
+    ucq_contained_in,
+)
+
+__all__ = [
+    "find_homomorphism",
+    "has_homomorphism",
+    "cq_contained_in",
+    "cq_equivalent",
+    "ucq_contained_in",
+    "BoundednessReport",
+    "chain_program_boundedness",
+    "expansion_boundedness_certificate",
+    "empirical_iteration_probe",
+    "analyze_boundedness",
+    "equivalent_ucq",
+    "ucq_answers",
+    "ucq_matches_program",
+]

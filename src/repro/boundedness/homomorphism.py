@@ -1,0 +1,116 @@
+"""CQ homomorphisms and containment (Chandra–Merlin; Theorem 4.6).
+
+A homomorphism from CQ ``q'`` to CQ ``q`` maps variables of ``q'`` to
+terms of ``q``, preserving constants, atoms and the head.  Classic
+results used by the paper:
+
+* ``q₁ ⊆ q₂`` over set semantics ⟺ a homomorphism ``q₂ → q₁``
+  (Chandra–Merlin [6]).
+* Over any semiring in ``Chom`` (absorptive ⊗-idempotent), UCQ
+  containment ``U₁ ⊆_S U₂`` ⟺ every CQ of ``U₁`` receives a
+  homomorphism from some CQ of ``U₂`` (Kostylev et al. [21]); this is
+  what powers Theorem 4.6's boundedness characterization.
+
+The search is backtracking over atoms with most-constrained-first
+ordering; worst-case exponential (the problem is NP-complete) but fast
+on the expansion CQs that arise here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..datalog.ast import Atom, Constant, Term, Variable
+from ..datalog.expansions import ConjunctiveQuery
+
+__all__ = [
+    "find_homomorphism",
+    "has_homomorphism",
+    "cq_contained_in",
+    "ucq_contained_in",
+    "cq_equivalent",
+]
+
+
+def find_homomorphism(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Optional[Dict[Variable, Term]]:
+    """A homomorphism ``source → target`` (head-preserving), or ``None``.
+
+    Head preservation: the i-th head term of *source* must map to the
+    i-th head term of *target* (constants must match literally).
+    """
+    if source.head.predicate != target.head.predicate:
+        return None
+    if source.head.arity != target.head.arity:
+        return None
+    mapping: Dict[Variable, Term] = {}
+    for s_term, t_term in zip(source.head.terms, target.head.terms):
+        if isinstance(s_term, Constant):
+            if s_term != t_term:
+                return None
+        else:
+            bound = mapping.get(s_term)
+            if bound is not None and bound != t_term:
+                return None
+            mapping[s_term] = t_term
+
+    # Index target atoms by predicate for candidate generation.
+    by_predicate: Dict[str, List[Atom]] = {}
+    for atom in target.body:
+        by_predicate.setdefault(atom.predicate, []).append(atom)
+
+    # Most-constrained-first: atoms over rarer predicates first.
+    ordered = sorted(
+        source.body, key=lambda a: len(by_predicate.get(a.predicate, ()))
+    )
+
+    def extend(
+        index: int, current: Dict[Variable, Term]
+    ) -> Optional[Dict[Variable, Term]]:
+        if index == len(ordered):
+            return current
+        atom = ordered[index]
+        for candidate in by_predicate.get(atom.predicate, ()):
+            trial = dict(current)
+            ok = True
+            for s_term, t_term in zip(atom.terms, candidate.terms):
+                if isinstance(s_term, Constant):
+                    if s_term != t_term:
+                        ok = False
+                        break
+                else:
+                    bound = trial.get(s_term)
+                    if bound is None:
+                        trial[s_term] = t_term
+                    elif bound != t_term:
+                        ok = False
+                        break
+            if ok:
+                result = extend(index + 1, trial)
+                if result is not None:
+                    return result
+        return None
+
+    return extend(0, mapping)
+
+
+def has_homomorphism(source: ConjunctiveQuery, target: ConjunctiveQuery) -> bool:
+    return find_homomorphism(source, target) is not None
+
+
+def cq_contained_in(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
+    """``first ⊆ second`` (Chandra–Merlin: hom ``second → first``)."""
+    return has_homomorphism(second, first)
+
+
+def ucq_contained_in(
+    first: Iterable[ConjunctiveQuery], second: Sequence[ConjunctiveQuery]
+) -> bool:
+    """``⋃ first ⊆_S ⋃ second`` for every ``S ∈ Chom`` (Kostylev et
+    al. [21]): each CQ of *first* is covered by some CQ of *second*."""
+    return all(any(has_homomorphism(q2, q1) for q2 in second) for q1 in first)
+
+
+def cq_equivalent(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
+    return cq_contained_in(first, second) and cq_contained_in(second, first)

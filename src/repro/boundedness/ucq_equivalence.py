@@ -1,0 +1,91 @@
+"""Boundedness ⟺ UCQ-equivalence (Proposition 4.8).
+
+Over an absorptive ⊗-idempotent semiring (the class ``Chom``), a
+program is bounded iff its target predicate is equivalent to a UCQ --
+namely the union of its first ``k`` levels of expansions, where ``k``
+is the boundedness certificate.  :func:`equivalent_ucq` materializes
+that UCQ; :func:`ucq_matches_program` validates the equivalence
+empirically by evaluating both sides on given databases (over the
+Boolean semiring, which suffices for ``Chom`` by Corollary 4.7).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..datalog.ast import DatalogError, Program
+from ..datalog.database import Database
+from ..datalog.evaluation import naive_evaluation
+from ..datalog.expansions import ConjunctiveQuery, expansions
+from ..semirings.numeric import BOOLEAN
+from .homomorphism import has_homomorphism
+
+__all__ = ["equivalent_ucq", "ucq_answers", "ucq_matches_program"]
+
+
+def equivalent_ucq(
+    program: Program, certificate: int, minimize: bool = True
+) -> List[ConjunctiveQuery]:
+    """The UCQ of Proposition 4.8: expansions with < *certificate*
+    recursive steps (the fixpoint is reached after ``certificate``
+    ICO rounds, i.e. derivations use at most ``certificate − 1``
+    recursive rule applications).
+
+    With *minimize*, homomorphically subsumed disjuncts are dropped
+    (sound over ``Chom`` by the containment characterization of
+    Theorem 4.6).  Linear programs only.
+    """
+    if certificate < 1:
+        raise DatalogError("certificate must be ≥ 1")
+    disjuncts: List[ConjunctiveQuery] = []
+    for steps in range(certificate):
+        disjuncts.extend(expansions(program, steps))
+    if not minimize:
+        return disjuncts
+    kept: List[ConjunctiveQuery] = []
+    for cq in disjuncts:
+        if any(has_homomorphism(other, cq) for other in kept):
+            continue  # an earlier disjunct already subsumes this one
+        kept = [other for other in kept if not has_homomorphism(cq, other)]
+        kept.append(cq)
+    return kept
+
+
+def ucq_answers(
+    ucq: Iterable[ConjunctiveQuery], database: Database
+) -> frozenset:
+    """Boolean answers of a UCQ: all head tuples with some valuation."""
+    from ..datalog.grounding import _FactIndex, _join  # local: avoids a cycle
+
+    answers: set = set()
+    for cq in ucq:
+        index = _FactIndex()
+        for fact in database.facts():
+            index.insert(fact)
+        for theta in _join(list(cq.body), index, {}):
+            head = cq.head.substitute(theta)
+            answers.add(tuple(term.value for term in head.terms))
+    return frozenset(answers)
+
+
+def ucq_matches_program(
+    program: Program,
+    certificate: int,
+    databases: Iterable[Database],
+) -> bool:
+    """Check ``target ≡ UCQ`` on concrete inputs (Boolean semantics).
+
+    A ``False`` refutes either the certificate or the boundedness
+    claim; ``True`` on a diverse family is the empirical face of
+    Proposition 4.8.
+    """
+    ucq = equivalent_ucq(program, certificate)
+    for database in databases:
+        program_answers = frozenset(
+            fact.args
+            for fact, value in naive_evaluation(program, database, BOOLEAN).values.items()
+            if value and fact.predicate == program.target
+        )
+        if ucq_answers(ucq, database) != program_answers:
+            return False
+    return True

@@ -1,0 +1,60 @@
+"""Circuits and formulas over semirings (Sections 2.5 and 3).
+
+* :class:`Circuit` / :class:`CircuitBuilder` -- the array-backed
+  fan-in-2 DAG representation and its constructor.
+* :mod:`~repro.circuits.evaluate` -- linear-time bottom-up evaluation
+  over any semiring.
+* :mod:`~repro.circuits.transform` -- circuit → formula expansion
+  (Prop 3.3) and Brent/Wegener depth balancing (Thm 3.2).
+* :mod:`~repro.circuits.polynomials` -- canonical ``Sorp(X)``
+  polynomial extraction and absorptive-equivalence decision.
+* :mod:`~repro.circuits.metrics` -- size/depth measurement for the
+  Table-1 benchmarks.
+"""
+
+from .circuit import OP_ADD, OP_CONST0, OP_CONST1, OP_MUL, OP_VAR, Circuit, CircuitBuilder
+from .evaluate import evaluate, evaluate_all, evaluate_boolean
+from .metrics import CircuitMetrics, measure
+from .polynomials import (
+    canonical_polynomial,
+    equivalent_over_absorptive,
+    produced_polynomial,
+    random_equivalence_check,
+)
+from .serialize import from_json, to_dot, to_json
+from .transform import (
+    FormulaTree,
+    balance_formula,
+    circuit_to_formula,
+    circuit_to_tree,
+    formula_depth_bound,
+    tree_to_formula,
+)
+
+__all__ = [
+    "OP_VAR",
+    "OP_CONST0",
+    "OP_CONST1",
+    "OP_ADD",
+    "OP_MUL",
+    "Circuit",
+    "CircuitBuilder",
+    "evaluate",
+    "evaluate_all",
+    "evaluate_boolean",
+    "CircuitMetrics",
+    "measure",
+    "canonical_polynomial",
+    "produced_polynomial",
+    "equivalent_over_absorptive",
+    "random_equivalence_check",
+    "FormulaTree",
+    "circuit_to_formula",
+    "circuit_to_tree",
+    "tree_to_formula",
+    "balance_formula",
+    "formula_depth_bound",
+    "to_json",
+    "from_json",
+    "to_dot",
+]

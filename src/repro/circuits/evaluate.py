@@ -1,0 +1,102 @@
+"""Circuit evaluation over arbitrary semirings.
+
+Evaluation is a single forward pass over the node arrays (nodes are in
+topological order by construction), so it runs in time linear in the
+circuit size -- the "compressed data structure" guarantee of the
+paper's introduction.
+
+Evaluating over :class:`~repro.semirings.polynomial.SorpSemiring` with
+the identity assignment extracts the circuit's *canonical polynomial*
+(Section 2.5's "produces"), already normalized by absorption; see
+:mod:`repro.circuits.polynomials`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Mapping, Optional
+
+from ..semirings.base import Semiring
+from .circuit import OP_ADD, OP_CONST0, OP_CONST1, OP_MUL, OP_VAR, Circuit
+
+__all__ = ["evaluate", "evaluate_all", "evaluate_boolean"]
+
+
+def evaluate(
+    circuit: Circuit,
+    semiring: Semiring,
+    assignment: Mapping[Hashable, object] | Callable[[Hashable], object],
+    output: Optional[int] = None,
+):
+    """Evaluate *circuit* bottom-up over *semiring*.
+
+    *assignment* maps variable tags to semiring values; it may be a
+    mapping or a callable.  Returns the value at *output* (default:
+    the circuit's sole output; multiple outputs require an explicit
+    index or :func:`evaluate_all`).
+    """
+    values = evaluate_all(circuit, semiring, assignment)
+    if output is None:
+        if len(circuit.outputs) != 1:
+            raise ValueError(
+                f"circuit has {len(circuit.outputs)} outputs; pass output= explicitly"
+            )
+        output = circuit.outputs[0]
+    return values[output]
+
+
+def evaluate_all(
+    circuit: Circuit,
+    semiring: Semiring,
+    assignment: Mapping[Hashable, object] | Callable[[Hashable], object],
+) -> List:
+    """Evaluate every node; returns the full value array (linear time)."""
+    lookup = assignment if callable(assignment) else assignment.__getitem__
+    zero, one = semiring.zero, semiring.one
+    add, mul = semiring.add, semiring.mul
+    ops, lhs, rhs, labels = circuit.ops, circuit.lhs, circuit.rhs, circuit.labels
+    values: List = [None] * len(ops)
+    for i, op in enumerate(ops):
+        if op == OP_ADD:
+            values[i] = add(values[lhs[i]], values[rhs[i]])
+        elif op == OP_MUL:
+            values[i] = mul(values[lhs[i]], values[rhs[i]])
+        elif op == OP_VAR:
+            values[i] = lookup(labels[i])
+        elif op == OP_CONST0:
+            values[i] = zero
+        elif op == OP_CONST1:
+            values[i] = one
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown opcode {op}")
+    return values
+
+
+def evaluate_boolean(
+    circuit: Circuit,
+    true_variables,
+    output: Optional[int] = None,
+) -> bool:
+    """Fast-path Boolean evaluation: variables in *true_variables* are True.
+
+    Equivalent to evaluating over :data:`repro.semirings.BOOLEAN` with
+    the characteristic assignment, but specialized with Python
+    booleans for speed (the Boolean semiring is the workhorse of the
+    transfer arguments in Proposition 3.6).
+    """
+    true_set = set(true_variables)
+    ops, lhs, rhs, labels = circuit.ops, circuit.lhs, circuit.rhs, circuit.labels
+    values = [False] * len(ops)
+    for i, op in enumerate(ops):
+        if op == OP_ADD:
+            values[i] = values[lhs[i]] or values[rhs[i]]
+        elif op == OP_MUL:
+            values[i] = values[lhs[i]] and values[rhs[i]]
+        elif op == OP_VAR:
+            values[i] = labels[i] in true_set
+        elif op == OP_CONST1:
+            values[i] = True
+    if output is None:
+        if len(circuit.outputs) != 1:
+            raise ValueError("circuit has multiple outputs; pass output=")
+        output = circuit.outputs[0]
+    return values[output]

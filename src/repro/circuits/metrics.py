@@ -1,0 +1,79 @@
+"""Circuit metrics reported by the benchmark harness.
+
+The paper's Table 1 is a grid of asymptotic circuit *size* and *depth*
+bounds; :func:`measure` extracts the concrete numbers from a built
+circuit so the benchmarks can fit growth curves against the claimed
+bounds (see :mod:`repro.analysis.fitting`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from .circuit import OP_ADD, OP_MUL, Circuit
+
+__all__ = ["CircuitMetrics", "measure"]
+
+
+@dataclass(frozen=True)
+class CircuitMetrics:
+    """Size/depth/shape statistics of one circuit."""
+
+    size: int
+    depth: int
+    num_add_gates: int
+    num_mul_gates: int
+    num_inputs: int
+    num_constants: int
+    num_outputs: int
+    max_fanout: int
+    is_formula: bool
+    num_wires: int
+
+    @property
+    def num_internal(self) -> int:
+        return self.num_add_gates + self.num_mul_gates
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def row(self) -> str:
+        """One fixed-width report line (used by the bench tables)."""
+        return (
+            f"size={self.size:>9}  depth={self.depth:>6}  "
+            f"⊕={self.num_add_gates:>8}  ⊗={self.num_mul_gates:>8}  "
+            f"inputs={self.num_inputs:>7}  formula={str(self.is_formula):>5}"
+        )
+
+
+def measure(circuit: Circuit) -> CircuitMetrics:
+    """Compute all static metrics of *circuit* in one pass."""
+    num_add = 0
+    num_mul = 0
+    num_inputs = 0
+    num_constants = 0
+    wires = 0
+    for op in circuit.ops:
+        if op == OP_ADD:
+            num_add += 1
+            wires += 2
+        elif op == OP_MUL:
+            num_mul += 1
+            wires += 2
+        elif op == 0:  # OP_VAR
+            num_inputs += 1
+        else:
+            num_constants += 1
+    fanout = circuit.fanout()
+    return CircuitMetrics(
+        size=circuit.size,
+        depth=circuit.depth,
+        num_add_gates=num_add,
+        num_mul_gates=num_mul,
+        num_inputs=num_inputs,
+        num_constants=num_constants,
+        num_outputs=len(circuit.outputs),
+        max_fanout=max(fanout, default=0),
+        is_formula=all(f <= 1 for f in fanout),
+        num_wires=wires,
+    )

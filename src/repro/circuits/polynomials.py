@@ -1,0 +1,116 @@
+"""Canonical polynomials of circuits, and circuit equivalence.
+
+Section 2.5 defines a circuit to *produce* the polynomial obtained by
+bottom-up symbolic evaluation, and to *compute* a polynomial ``p``
+over ``S`` when the produced polynomial is ``S``-equivalent to ``p``.
+
+Over an absorptive semiring, equivalence of the produced polynomials
+is decided by comparing their images in ``Sorp(X)`` (the free
+absorptive semiring; initiality means two circuits with equal Sorp
+polynomials compute the same function over *every* absorptive
+semiring).  :func:`canonical_polynomial` performs exactly this
+extraction; :func:`equivalent_over_absorptive` compares two circuits.
+
+:func:`produced_polynomial` gives the literal ℕ[X] polynomial with
+multiplicities (no absorption) for non-recursive sanity checks, and
+:func:`random_equivalence_check` provides a cheap randomized
+refutation test over a numeric semiring.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from ..semirings.base import Semiring
+from ..semirings.numeric import TROPICAL
+from ..semirings.polynomial import (
+    FormalPolynomial,
+    NaturalPolynomialSemiring,
+    Polynomial,
+    SorpSemiring,
+)
+from .circuit import Circuit
+from .evaluate import evaluate
+
+__all__ = [
+    "canonical_polynomial",
+    "produced_polynomial",
+    "equivalent_over_absorptive",
+    "random_equivalence_check",
+]
+
+
+def canonical_polynomial(
+    circuit: Circuit,
+    output: Optional[int] = None,
+    idempotent_mul: bool = False,
+) -> Polynomial:
+    """The circuit's polynomial in ``Sorp(X)`` (absorption applied).
+
+    With ``idempotent_mul=True`` the extraction is performed in the
+    free Chom semiring instead (variable exponents capped at one),
+    matching ⊗-idempotent targets such as the fuzzy semiring.
+    """
+    sorp = SorpSemiring(idempotent_mul=idempotent_mul)
+    return evaluate(circuit, sorp, lambda label: sorp.var(label), output=output)
+
+
+def produced_polynomial(circuit: Circuit, output: Optional[int] = None) -> FormalPolynomial:
+    """The literal produced polynomial in ``ℕ[X]`` (no absorption).
+
+    Faithful to the bottom-up expansion of Section 2.5 but can be
+    exponentially large; intended for small circuits and tests.
+    """
+    natural = NaturalPolynomialSemiring()
+    return evaluate(circuit, natural, lambda label: natural.var(label), output=output)
+
+
+def equivalent_over_absorptive(
+    first: Circuit,
+    second: Circuit,
+    idempotent_mul: bool = False,
+    first_output: Optional[int] = None,
+    second_output: Optional[int] = None,
+) -> bool:
+    """Decide equivalence over all absorptive (or all Chom) semirings.
+
+    Complete by initiality of ``Sorp(X)`` (resp. its ⊗-idempotent
+    quotient): equal canonical polynomials ⟺ equal functions over
+    every semiring in the class.
+    """
+    p1 = canonical_polynomial(first, first_output, idempotent_mul)
+    p2 = canonical_polynomial(second, second_output, idempotent_mul)
+    return p1 == p2
+
+
+def random_equivalence_check(
+    first: Circuit,
+    second: Circuit,
+    semiring: Semiring = TROPICAL,
+    trials: int = 16,
+    seed: int = 0,
+    weight_pool: Iterable[float] = (0.0, 1.0, 2.0, 3.0, 5.0, 8.0),
+    first_output: Optional[int] = None,
+    second_output: Optional[int] = None,
+) -> bool:
+    """Randomized refutation: evaluate both circuits on random inputs.
+
+    Returns ``False`` on the first disagreeing assignment (a definite
+    inequivalence witness over *semiring*), ``True`` if all trials
+    agree.  Unlike :func:`equivalent_over_absorptive` this runs in
+    time linear in circuit size per trial, so it scales to the
+    benchmark-sized circuits.
+    """
+    rng = random.Random(seed)
+    pool = list(weight_pool)
+    variables = sorted(
+        set(first.variables()) | set(second.variables()), key=repr
+    )
+    for _ in range(trials):
+        assignment = {var: rng.choice(pool) for var in variables}
+        v1 = evaluate(first, semiring, assignment, output=first_output)
+        v2 = evaluate(second, semiring, assignment, output=second_output)
+        if not semiring.eq(v1, v2):
+            return False
+    return True

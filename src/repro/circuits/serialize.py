@@ -1,0 +1,88 @@
+"""Circuit serialization: JSON round-trip and Graphviz DOT export.
+
+A provenance circuit is a *stored artifact* in practice (that is the
+point of compressing provenance, per the paper's introduction), so the
+library ships a stable on-disk format plus a DOT renderer for
+inspecting small circuits.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from .circuit import OP_ADD, OP_CONST0, OP_CONST1, OP_MUL, OP_VAR, Circuit
+
+__all__ = ["to_json", "from_json", "to_dot"]
+
+_FORMAT_VERSION = 1
+
+
+def to_json(circuit: Circuit) -> str:
+    """Serialize to a JSON string.
+
+    Variable labels are stored via ``repr`` when not JSON-native;
+    :func:`from_json` restores JSON-native labels exactly and falls
+    back to the string form otherwise (documented lossy corner --
+    tuple-labeled product-graph circuits round-trip as strings).
+    """
+    labels = []
+    for op, label in zip(circuit.ops, circuit.labels):
+        if op != OP_VAR:
+            labels.append(None)
+        elif isinstance(label, (str, int, float, bool)) or label is None:
+            labels.append(label)
+        else:
+            labels.append(repr(label))
+    payload = {
+        "format": "repro-circuit",
+        "version": _FORMAT_VERSION,
+        "ops": circuit.ops,
+        "lhs": circuit.lhs,
+        "rhs": circuit.rhs,
+        "labels": labels,
+        "outputs": circuit.outputs,
+    }
+    return json.dumps(payload)
+
+
+def from_json(text: str) -> Circuit:
+    """Inverse of :func:`to_json` (modulo non-native label stringification)."""
+    payload = json.loads(text)
+    if payload.get("format") != "repro-circuit":
+        raise ValueError("not a repro circuit document")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported circuit format version {payload.get('version')}")
+    return Circuit(
+        payload["ops"], payload["lhs"], payload["rhs"], payload["labels"], payload["outputs"]
+    )
+
+
+def to_dot(circuit: Circuit, name: str = "circuit", max_nodes: Optional[int] = 500) -> str:
+    """Graphviz DOT rendering (⊕/⊗ gates, labeled inputs, output ring)."""
+    if max_nodes is not None and circuit.size > max_nodes:
+        raise ValueError(
+            f"circuit has {circuit.size} nodes > max_nodes={max_nodes}; "
+            "render a pruned or smaller circuit"
+        )
+    lines = [f"digraph {name} {{", "  rankdir=BT;"]
+    outputs = set(circuit.outputs)
+    for i, op in enumerate(circuit.ops):
+        if op == OP_VAR:
+            shape, label = "box", str(circuit.labels[i])
+        elif op == OP_CONST0:
+            shape, label = "box", "0"
+        elif op == OP_CONST1:
+            shape, label = "box", "1"
+        elif op == OP_ADD:
+            shape, label = "circle", "⊕"
+        else:
+            shape, label = "circle", "⊗"
+        extra = ", peripheries=2" if i in outputs else ""
+        escaped = label.replace('"', '\\"')
+        lines.append(f'  n{i} [shape={shape}, label="{escaped}"{extra}];')
+        if op in (OP_ADD, OP_MUL):
+            lines.append(f"  n{circuit.lhs[i]} -> n{i};")
+            lines.append(f"  n{circuit.rhs[i]} -> n{i};")
+    lines.append("}")
+    return "\n".join(lines)

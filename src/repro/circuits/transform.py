@@ -1,0 +1,241 @@
+"""Circuit ⟷ formula transformations (Theorem 3.2 and Proposition 3.3).
+
+* :func:`circuit_to_formula` -- Proposition 3.3: a circuit of depth
+  ``d`` expands into an equivalent formula of size ``≤ 2^d`` and the
+  same depth, by duplicating every shared subcircuit.
+
+* :func:`balance_formula` -- the Brent/Wegener restructuring behind
+  Theorem 3.2: a formula of size ``s`` is rebuilt to depth
+  ``O(log s)``.  The rewriting uses the identity
+
+      ``F(v) = A ⊗ v ⊕ B  ≡  (F(1) ⊗ v) ⊕ F(0)``
+
+  for the read-once occurrence of a designated subformula ``v``, which
+  relies on the absorption law ``B ⊕ B ⊗ v = B``.  It is therefore
+  semantics-preserving over every **absorptive** semiring (and in
+  particular over the Boolean semiring, the setting of Wegener [33]);
+  it is *not* sound over, e.g., the counting semiring.
+
+Together these realize the paper's equivalence: polynomial-size
+formulas ⟺ ``O(log n)``-depth circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Union
+
+from .circuit import OP_ADD, OP_CONST0, OP_CONST1, OP_MUL, OP_VAR, Circuit, CircuitBuilder
+
+__all__ = [
+    "FormulaTree",
+    "circuit_to_formula",
+    "circuit_to_tree",
+    "tree_to_formula",
+    "balance_formula",
+    "formula_depth_bound",
+]
+
+
+@dataclass
+class FormulaTree:
+    """A formula as an explicit tree (the balancer's working form).
+
+    ``op`` is one of the circuit opcodes; leaves carry ``label`` (for
+    vars).  ``leaves`` caches the subtree leaf count.
+    """
+
+    op: int
+    left: Optional["FormulaTree"] = None
+    right: Optional["FormulaTree"] = None
+    label: Optional[Hashable] = None
+    leaves: int = 1
+
+    @staticmethod
+    def var(label: Hashable) -> "FormulaTree":
+        return FormulaTree(OP_VAR, label=label)
+
+    @staticmethod
+    def const(one: bool) -> "FormulaTree":
+        return FormulaTree(OP_CONST1 if one else OP_CONST0)
+
+    @staticmethod
+    def combine(op: int, left: "FormulaTree", right: "FormulaTree") -> "FormulaTree":
+        return FormulaTree(op, left, right, leaves=left.leaves + right.leaves)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.op in (OP_VAR, OP_CONST0, OP_CONST1)
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def size(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + self.left.size() + self.right.size()
+
+
+def circuit_to_tree(circuit: Circuit, output: Optional[int] = None, max_size: int = 2_000_000) -> FormulaTree:
+    """Expand *circuit* (from *output*) into a tree, duplicating shares.
+
+    This is the constructive content of Proposition 3.3; the result
+    has the same depth and at most ``2^depth`` leaves.  *max_size*
+    guards against the inherent exponential blow-up.
+    """
+    if output is None:
+        if len(circuit.outputs) != 1:
+            raise ValueError("circuit has multiple outputs; pass output=")
+        output = circuit.outputs[0]
+
+    budget = [max_size]
+
+    def expand(node: int) -> FormulaTree:
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise MemoryError(
+                f"formula expansion exceeded {max_size} nodes; "
+                "the circuit's shared structure is essential (cf. Thm 3.4)"
+            )
+        op = circuit.ops[node]
+        if op == OP_VAR:
+            return FormulaTree.var(circuit.labels[node])
+        if op == OP_CONST0:
+            return FormulaTree.const(False)
+        if op == OP_CONST1:
+            return FormulaTree.const(True)
+        left = expand(circuit.lhs[node])
+        right = expand(circuit.rhs[node])
+        return FormulaTree.combine(op, left, right)
+
+    return expand(output)
+
+
+def tree_to_formula(tree: FormulaTree) -> Circuit:
+    """Serialize a :class:`FormulaTree` into a formula circuit."""
+    builder = CircuitBuilder(share=False)
+
+    def emit(node: FormulaTree) -> int:
+        if node.op == OP_VAR:
+            return builder.var(node.label)
+        if node.op == OP_CONST0:
+            return builder.const0()
+        if node.op == OP_CONST1:
+            return builder.const1()
+        left = emit(node.left)
+        right = emit(node.right)
+        if node.op == OP_ADD:
+            return builder.add(left, right)
+        return builder.mul(left, right)
+
+    return builder.build(emit(tree))
+
+
+def circuit_to_formula(circuit: Circuit, output: Optional[int] = None, max_size: int = 2_000_000) -> Circuit:
+    """Proposition 3.3: depth-preserving circuit → formula expansion."""
+    return tree_to_formula(circuit_to_tree(circuit, output, max_size))
+
+
+# ----------------------------------------------------------------------
+# Brent/Wegener balancing (Theorem 3.2)
+# ----------------------------------------------------------------------
+
+_BASE_LEAVES = 4
+
+
+def _substitute(tree: FormulaTree, target: FormulaTree, replacement: FormulaTree) -> FormulaTree:
+    """Copy *tree* with the (identity-located) *target* node replaced."""
+    if tree is target:
+        return replacement
+    if tree.is_leaf:
+        return tree
+    left = _substitute(tree.left, target, replacement)
+    right = _substitute(tree.right, target, replacement)
+    if left is tree.left and right is tree.right:
+        return tree
+    return FormulaTree.combine(tree.op, left, right)
+
+
+def _find_separator(tree: FormulaTree) -> FormulaTree:
+    """Walk the heavy path to a node with between n/3 and 2n/3 leaves."""
+    total = tree.leaves
+    node = tree
+    while node.leaves * 3 > total * 2:
+        if node.is_leaf:  # pragma: no cover - total ≥ 3 prevents this
+            break
+        node = node.left if node.left.leaves >= node.right.leaves else node.right
+    return node
+
+
+def _simplify(tree: FormulaTree) -> FormulaTree:
+    """Constant-fold 0/1 identities bottom-up (keeps balanced sizes lean)."""
+    if tree.is_leaf:
+        return tree
+    left = _simplify(tree.left)
+    right = _simplify(tree.right)
+    if tree.op == OP_ADD:
+        if left.op == OP_CONST0:
+            return right
+        if right.op == OP_CONST0:
+            return left
+        if left.op == OP_CONST1 or right.op == OP_CONST1:
+            # absorptive semirings: 1 ⊕ x = 1
+            return FormulaTree.const(True)
+    else:  # OP_MUL
+        if left.op == OP_CONST0 or right.op == OP_CONST0:
+            return FormulaTree.const(False)
+        if left.op == OP_CONST1:
+            return right
+        if right.op == OP_CONST1:
+            return left
+    if left is tree.left and right is tree.right:
+        return tree
+    return FormulaTree.combine(tree.op, left, right)
+
+
+def _balance(tree: FormulaTree) -> FormulaTree:
+    if tree.leaves <= _BASE_LEAVES:
+        return tree
+    separator = _find_separator(tree)
+    if separator is tree:
+        # Root itself within [n/3, 2n/3] is impossible; recurse on kids.
+        left = _balance(tree.left)
+        right = _balance(tree.right)
+        return FormulaTree.combine(tree.op, left, right)
+    inner = _balance(separator)
+    # F(v) with v := the separator subformula; F ≡ (F(1) ⊗ v) ⊕ F(0)
+    # over absorptive semirings (B ⊕ B⊗v = B).
+    f_one = _simplify(_substitute(tree, separator, FormulaTree.const(True)))
+    f_zero = _simplify(_substitute(tree, separator, FormulaTree.const(False)))
+    balanced_one = _balance(f_one)
+    balanced_zero = _balance(f_zero)
+    return FormulaTree.combine(
+        OP_ADD, FormulaTree.combine(OP_MUL, balanced_one, inner), balanced_zero
+    )
+
+
+def balance_formula(formula: Union[Circuit, FormulaTree]) -> Circuit:
+    """Theorem 3.2: rebuild a formula to depth ``O(log size)``.
+
+    Sound over every absorptive semiring (see module docstring).  The
+    input may be a formula circuit or a :class:`FormulaTree`; the
+    output is a formula circuit computing an equivalent polynomial.
+    """
+    tree = formula if isinstance(formula, FormulaTree) else circuit_to_tree(formula)
+    return tree_to_formula(_balance(_simplify(tree)))
+
+
+def formula_depth_bound(size: int) -> int:
+    """The O(log s) bound realized by :func:`balance_formula`.
+
+    From the recurrence ``D(n) ≤ D(2n/3 + 1) + 2`` with ``D(4) ≤ 4``:
+    ``D(n) ≤ 2·log_{3/2}(n) + 4``.  Tests assert measured depth stays
+    under this explicit constant.
+    """
+    import math
+
+    if size <= 1:
+        return 1
+    return int(2 * math.log(size, 1.5)) + 4

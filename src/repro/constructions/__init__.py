@@ -1,0 +1,56 @@
+"""Every circuit construction of the paper (Sections 3--6).
+
+=============================  =====================================
+Function                       Paper result
+=============================  =====================================
+:func:`generic_circuit`        Thm 3.1 (Deutch et al.): poly-size
+                               circuit for any program
+:func:`ucq_circuit`            Prop 3.7: O(log)-depth UCQ circuit
+                               and poly-size formula
+:func:`bounded_circuit`        Thm 4.3: O(log)-depth circuit for
+                               bounded programs
+:func:`dag_circuit` /          Thm 3.5: linear size, linear depth
+:func:`layered_circuit`        for layered/acyclic st-connectivity
+:func:`bellman_ford_circuit`   Thm 5.6: O(mn) size, O(n log n) depth
+                               for TC
+:func:`squaring_circuit`       Thm 5.7: O(n³ log n) size,
+                               O(log² n) depth for TC
+:func:`finite_rpq_circuit`     Thm 5.8: O(m) size, O(log n) depth
+                               for finite RPQs
+:func:`fringe_circuit`         Thm 6.2 (Ullman–Van Gelder):
+                               O(log² |I|) depth under the
+                               polynomial fringe property
+=============================  =====================================
+
+All constructions label input gates with EDB :class:`~repro.datalog.ast.Fact`
+objects, so ``database.valuation(semiring)`` is always a valid
+evaluation assignment.
+"""
+
+from .auto import ConstructionChoice, provenance_circuit
+from .bellman_ford import bellman_ford_all_targets, bellman_ford_circuit
+from .bounded import bounded_circuit
+from .finite_rpq import finite_rpq_circuit
+from .fringe import default_stage_count, fringe_circuit
+from .generic import generic_circuit
+from .layered import dag_circuit, layered_circuit
+from .squaring import squaring_all_pairs, squaring_circuit
+from .ucq import cq_valuations, ucq_circuit
+
+__all__ = [
+    "ConstructionChoice",
+    "provenance_circuit",
+    "generic_circuit",
+    "ucq_circuit",
+    "cq_valuations",
+    "bounded_circuit",
+    "dag_circuit",
+    "layered_circuit",
+    "bellman_ford_circuit",
+    "bellman_ford_all_targets",
+    "squaring_circuit",
+    "squaring_all_pairs",
+    "finite_rpq_circuit",
+    "fringe_circuit",
+    "default_stage_count",
+]

@@ -1,0 +1,94 @@
+"""The generic provenance circuit (Theorem 3.1, Deutch et al. [10]).
+
+For any Datalog program over an absorptive semiring, a circuit of
+polynomial size computes every provenance polynomial: layer ``k``
+evaluates one application of the grounded ICO, and ``N`` layers
+suffice, where ``N`` is the number of derivable IDB facts -- a tight
+proof tree repeats no IDB fact along a root-to-leaf path, so its
+height is at most ``N``, and monomials of non-tight trees are absorbed
+(Proposition 2.4).
+
+Size is ``O(N · M)`` (``M`` = grounding size) and depth ``O(N log n)``
+-- polynomial but with the linear-in-``N`` depth the rest of the paper
+improves on for special classes.
+
+Gates are hash-consed, so when the symbolic layer values stabilize
+early (e.g. bounded programs, acyclic inputs) the construction stops
+adding gates and exits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..circuits.circuit import Circuit, CircuitBuilder
+from ..datalog.ast import Fact, Program
+from ..datalog.database import Database
+from ..datalog.grounding import GroundProgram, relevant_grounding
+
+__all__ = ["generic_circuit"]
+
+
+def generic_circuit(
+    program: Program,
+    database: Database,
+    facts: Optional[Union[Fact, Sequence[Fact]]] = None,
+    stages: Optional[int] = None,
+    ground: Optional[GroundProgram] = None,
+) -> Circuit:
+    """Build the Theorem 3.1 circuit for *facts* (default: all target
+    facts) of *program* on *database*.
+
+    *stages* defaults to the sound bound ``N`` (number of derivable
+    IDB facts); pass a smaller value only with an external guarantee
+    (e.g. a boundedness constant -- that case is
+    :func:`repro.constructions.bounded.bounded_circuit`).
+
+    The circuit's input labels are the EDB :class:`Fact` objects, so
+    ``database.valuation(semiring)`` is a ready-made assignment.
+    """
+    if ground is None:
+        ground = relevant_grounding(program, database)
+    idb_facts: List[Fact] = sorted(ground.idb_facts, key=repr)
+    if stages is None:
+        stages = max(len(idb_facts), 1)
+
+    builder = CircuitBuilder(share=True)
+    value: Dict[Fact, int] = {fact: builder.const0() for fact in idb_facts}
+
+    # Pre-intern EDB inputs and per-rule EDB products (stage-invariant).
+    rule_edb_product: List[int] = [
+        builder.mul_all([builder.var(edb) for edb in rule.edb_body]) for rule in ground.rules
+    ]
+
+    for _ in range(stages):
+        fresh: Dict[Fact, int] = {}
+        terms: Dict[Fact, List[int]] = {fact: [] for fact in idb_facts}
+        for rule, edb_node in zip(ground.rules, rule_edb_product):
+            node = edb_node
+            for body_fact in rule.idb_body:
+                node = builder.mul(node, value[body_fact])
+            terms[rule.head].append(node)
+        for fact in idb_facts:
+            fresh[fact] = builder.add_all(terms[fact])
+        if fresh == value:
+            break  # symbolic fixpoint: further layers are no-ops
+        value = fresh
+
+    outputs = _resolve_outputs(program, facts, idb_facts)
+    output_nodes = [value.get(fact, builder.const0()) for fact in outputs]
+    # Keep missing facts' const0 outputs meaningful even when pruning.
+    circuit = builder.build(output_nodes, prune=True)
+    return circuit
+
+
+def _resolve_outputs(
+    program: Program,
+    facts: Optional[Union[Fact, Sequence[Fact]]],
+    idb_facts: Iterable[Fact],
+) -> List[Fact]:
+    if facts is None:
+        return [f for f in idb_facts if f.predicate == program.target]
+    if isinstance(facts, Fact):
+        return [facts]
+    return list(facts)

@@ -1,0 +1,79 @@
+"""UCQ provenance circuits and formulas (Proposition 3.7).
+
+A UCQ has only polynomially many derivations (valuations), so its
+provenance is a plain sum of products: a balanced circuit of
+``O(log |I|)`` depth, which expanded is already a polynomial-size
+*formula* (no sharing needed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from ..circuits.circuit import Circuit, CircuitBuilder
+from ..datalog.ast import Constant, Fact, Variable
+from ..datalog.database import Database
+from ..datalog.expansions import ConjunctiveQuery
+from ..datalog.grounding import _FactIndex, _join  # shared join machinery
+
+__all__ = ["ucq_circuit", "cq_valuations"]
+
+
+def cq_valuations(
+    cq: ConjunctiveQuery,
+    database: Database,
+    answer: Tuple[Hashable, ...],
+) -> List[Tuple[Fact, ...]]:
+    """All body groundings of *cq* whose head equals *answer*.
+
+    Each valuation is returned as the tuple of grounded body facts --
+    one monomial of the provenance polynomial.
+    """
+    head_vars = cq.head.terms
+    if len(head_vars) != len(answer):
+        raise ValueError(f"answer arity {len(answer)} ≠ head arity {len(head_vars)}")
+    theta: Dict[Variable, Constant] = {}
+    for term, value in zip(head_vars, answer):
+        if isinstance(term, Variable):
+            bound = theta.get(term)
+            if bound is not None and bound.value != value:
+                return []
+            theta[term] = Constant(value)
+        elif term.value != value:
+            return []
+    index = _FactIndex()
+    for fact in database.facts():
+        index.insert(fact)
+    valuations: List[Tuple[Fact, ...]] = []
+    for substitution in _join(list(cq.body), index, theta):
+        body_facts = tuple(atom.substitute(substitution).to_fact() for atom in cq.body)
+        valuations.append(body_facts)
+    return valuations
+
+
+def ucq_circuit(
+    cqs: Iterable[ConjunctiveQuery] | ConjunctiveQuery,
+    database: Database,
+    answer: Tuple[Hashable, ...],
+    as_formula: bool = False,
+) -> Circuit:
+    """Proposition 3.7: balanced sum-of-products circuit for a UCQ.
+
+    With ``as_formula=True`` the builder disables sharing, yielding
+    the polynomial-size formula directly (each monomial re-reads its
+    input variables).
+    """
+    if isinstance(cqs, ConjunctiveQuery):
+        cqs = [cqs]
+    builder = CircuitBuilder(share=not as_formula)
+    monomial_nodes: List[int] = []
+    seen_monomials: set = set()
+    for cq in cqs:
+        for body_facts in cq_valuations(cq, database, answer):
+            key = tuple(sorted(body_facts, key=repr))
+            if key in seen_monomials:
+                continue  # syntactically duplicate monomial across CQs
+            seen_monomials.add(key)
+            monomial_nodes.append(builder.mul_all([builder.var(f) for f in body_facts]))
+    output = builder.add_all(monomial_nodes)
+    return builder.build(output)

@@ -1,0 +1,100 @@
+"""Datalog over semirings (Sections 2.1, 2.3, 2.4 of the paper).
+
+The engine: AST + parser, annotated databases, grounding (full and
+relevant), naive evaluation over any naturally ordered semiring,
+proof-tree enumeration (tight trees, Prop 2.4), CQ expansions of
+linear programs (Thm 4.5) and a library of the paper's example
+programs.
+"""
+
+from .ast import Atom, Constant, DatalogError, Fact, Program, Rule, Term, Variable
+from .database import Database
+from .evaluation import (
+    DivergenceError,
+    EvaluationResult,
+    boolean_iterations,
+    evaluate_fact,
+    naive_evaluation,
+)
+from .expansions import (
+    ConjunctiveQuery,
+    canonical_database,
+    expansion_of_word,
+    expansion_words,
+    expansions,
+    expansions_up_to,
+    unify_atoms,
+)
+from .grounding import (
+    GroundProgram,
+    GroundRule,
+    derivable_facts,
+    full_grounding,
+    relevant_grounding,
+)
+from .magic import magic_specialize, magic_specialize_sink, specialized_fact
+from .library import (
+    bounded_example,
+    dyck1,
+    reachability,
+    same_generation,
+    transitive_closure,
+    transitive_closure_nonlinear,
+)
+from .parser import ParseError, parse_atom, parse_program, parse_rule
+from .prooftrees import (
+    ProofTree,
+    count_tight_proof_trees,
+    enumerate_proof_trees,
+    enumerate_tight_proof_trees,
+    max_tight_fringe,
+    provenance_by_proof_trees,
+)
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "Term",
+    "Atom",
+    "Fact",
+    "Rule",
+    "Program",
+    "DatalogError",
+    "Database",
+    "parse_program",
+    "parse_rule",
+    "parse_atom",
+    "ParseError",
+    "GroundRule",
+    "GroundProgram",
+    "full_grounding",
+    "relevant_grounding",
+    "derivable_facts",
+    "EvaluationResult",
+    "DivergenceError",
+    "naive_evaluation",
+    "evaluate_fact",
+    "boolean_iterations",
+    "ProofTree",
+    "enumerate_tight_proof_trees",
+    "enumerate_proof_trees",
+    "provenance_by_proof_trees",
+    "count_tight_proof_trees",
+    "max_tight_fringe",
+    "ConjunctiveQuery",
+    "unify_atoms",
+    "expansions",
+    "expansions_up_to",
+    "expansion_of_word",
+    "expansion_words",
+    "canonical_database",
+    "transitive_closure",
+    "transitive_closure_nonlinear",
+    "magic_specialize",
+    "magic_specialize_sink",
+    "specialized_fact",
+    "reachability",
+    "bounded_example",
+    "dyck1",
+    "same_generation",
+]

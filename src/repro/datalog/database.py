@@ -1,0 +1,139 @@
+"""Annotated input databases (the EDB instance ``I``).
+
+Each EDB fact carries an optional *weight* (semiring annotation) and
+is itself the provenance *tag* -- the ``x_α`` variable of Section 2.4
+that circuits use as input-gate labels.  :meth:`Database.valuation`
+turns the stored weights into a circuit-evaluation assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Mapping, Optional, Tuple
+
+from ..semirings.base import Semiring
+from .ast import Fact
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A set of EDB facts with optional semiring annotations."""
+
+    def __init__(self, facts: Iterable[Fact] = (), weights: Optional[Mapping[Fact, object]] = None):
+        self._relations: Dict[str, set[Tuple[Hashable, ...]]] = {}
+        self._weights: Dict[Fact, object] = {}
+        for fact in facts:
+            self.add_fact(fact)
+        if weights:
+            for fact, weight in weights.items():
+                self.add_fact(fact, weight)
+
+    # -- construction ----------------------------------------------------
+
+    def add(self, predicate: str, *args: Hashable, weight: object = None) -> Fact:
+        """Insert ``predicate(*args)``; returns the created :class:`Fact`."""
+        fact = Fact(predicate, args)
+        return self.add_fact(fact, weight)
+
+    def add_fact(self, fact: Fact, weight: object = None) -> Fact:
+        self._relations.setdefault(fact.predicate, set()).add(fact.args)
+        if weight is not None:
+            self._weights[fact] = weight
+        return fact
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Hashable, Hashable]],
+        predicate: str = "E",
+        weights: Optional[Mapping[Tuple[Hashable, Hashable], object]] = None,
+    ) -> "Database":
+        """Binary-relation shortcut: a digraph as the EDB ``E``."""
+        db = cls()
+        weights = weights or {}
+        for u, v in edges:
+            db.add(predicate, u, v, weight=weights.get((u, v)))
+        return db
+
+    @classmethod
+    def from_labeled_edges(
+        cls,
+        edges: Iterable[Tuple[Hashable, str, Hashable]],
+        weights: Optional[Mapping[Tuple[Hashable, str, Hashable], object]] = None,
+    ) -> "Database":
+        """Edge-labeled digraph: label ``a`` becomes binary EDB ``a``."""
+        db = cls()
+        weights = weights or {}
+        for u, label, v in edges:
+            db.add(label, u, v, weight=weights.get((u, label, v)))
+        return db
+
+    # -- access ------------------------------------------------------------
+
+    def predicates(self) -> FrozenSet[str]:
+        return frozenset(self._relations)
+
+    def tuples(self, predicate: str) -> FrozenSet[Tuple[Hashable, ...]]:
+        return frozenset(self._relations.get(predicate, ()))
+
+    def facts(self, predicate: Optional[str] = None) -> Iterator[Fact]:
+        predicates = (predicate,) if predicate else sorted(self._relations)
+        for pred in predicates:
+            for args in sorted(self._relations.get(pred, ()), key=repr):
+                yield Fact(pred, args)
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact.args in self._relations.get(fact.predicate, ())
+
+    def __len__(self) -> int:
+        """Input size ``m``: total number of EDB facts."""
+        return sum(len(tuples) for tuples in self._relations.values())
+
+    @property
+    def size(self) -> int:
+        return len(self)
+
+    def active_domain(self) -> FrozenSet[Hashable]:
+        """``Dom(I)``: all constants occurring in the input."""
+        domain: set[Hashable] = set()
+        for tuples in self._relations.values():
+            for args in tuples:
+                domain.update(args)
+        return frozenset(domain)
+
+    # -- annotations ---------------------------------------------------------
+
+    def weight(self, fact: Fact, default: object = None) -> object:
+        return self._weights.get(fact, default)
+
+    def set_weight(self, fact: Fact, weight: object) -> None:
+        if fact not in self:
+            raise KeyError(f"{fact} not in database")
+        self._weights[fact] = weight
+
+    def valuation(self, semiring: Semiring) -> Dict[Fact, object]:
+        """Fact → semiring value; unannotated facts default to ``1``.
+
+        This is the assignment ``x_α ↦ value`` used both by naive
+        Datalog evaluation and by circuit evaluation, so the two can
+        be cross-checked gate-for-gate.
+        """
+        out: Dict[Fact, object] = {}
+        for fact in self.facts():
+            weight = self._weights.get(fact)
+            out[fact] = semiring.one if weight is None else weight
+        return out
+
+    def copy(self) -> "Database":
+        clone = Database()
+        for pred, tuples in self._relations.items():
+            for args in tuples:
+                clone.add(pred, *args)
+        clone._weights.update(self._weights)
+        return clone
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{pred}:{len(tuples)}" for pred, tuples in sorted(self._relations.items())
+        )
+        return f"Database({parts or 'empty'})"

@@ -1,0 +1,130 @@
+"""Datalog semantics over semirings: the ICO and naive evaluation.
+
+Section 2.3: the immediate consequence operator (ICO) maps each IDB
+fact ``α`` to the ``⊕``-sum over all grounded rules with head ``α`` of
+the ``⊗``-product of the rule's body facts.  Naive evaluation starts
+from all-``0`` and applies the ICO until a fixpoint.
+
+Convergence is guaranteed for absorptive (0-stable) semirings -- in at
+most ``N`` rounds, where ``N`` is the number of derivable IDB facts,
+because a tight proof tree repeats no IDB fact on a root-to-leaf path
+and so has height at most ``N``.  Over non-stable semirings (e.g. the
+counting semiring on cyclic inputs) evaluation may diverge; the
+``max_iterations`` guard reports that instead of spinning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..semirings.base import Semiring
+from .ast import Fact, Program
+from .database import Database
+from .grounding import GroundProgram, derivable_facts, relevant_grounding
+
+__all__ = ["EvaluationResult", "naive_evaluation", "evaluate_fact", "boolean_iterations"]
+
+
+class DivergenceError(RuntimeError):
+    """Naive evaluation hit the iteration cap without converging."""
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of naive evaluation.
+
+    ``values`` holds the least-fixpoint annotation of every derivable
+    IDB fact; ``iterations`` is the number of ICO applications until
+    the fixpoint was certified (the quantity bounded by Definition
+    4.1's ``k`` for bounded programs).
+    """
+
+    semiring: Semiring
+    values: Dict[Fact, object]
+    iterations: int
+    converged: bool
+
+    def value(self, fact: Fact):
+        return self.values.get(fact, self.semiring.zero)
+
+    def target_values(self, program: Program) -> Dict[Fact, object]:
+        return {
+            fact: value
+            for fact, value in self.values.items()
+            if fact.predicate == program.target
+        }
+
+
+def naive_evaluation(
+    program: Program,
+    database: Database,
+    semiring: Semiring,
+    weights: Optional[Mapping[Fact, object]] = None,
+    ground: Optional[GroundProgram] = None,
+    max_iterations: Optional[int] = None,
+    raise_on_divergence: bool = False,
+) -> EvaluationResult:
+    """Run naive evaluation of *program* on *database* over *semiring*.
+
+    *weights* overrides the database's stored annotations (default:
+    stored weight, else ``1``).  *ground* lets callers reuse a
+    precomputed grounding.  ``max_iterations`` defaults to
+    ``max(#IDB facts, 1) + 1`` extra headroom for absorptive
+    semirings and must be set explicitly for non-stable ones.
+    """
+    if ground is None:
+        ground = relevant_grounding(program, database)
+    edb_value = dict(database.valuation(semiring))
+    if weights:
+        edb_value.update(weights)
+
+    idb_facts = sorted(ground.idb_facts, key=repr)
+    if max_iterations is None:
+        max_iterations = max(len(idb_facts), 1) + 2
+
+    # Precompute each ground rule's EDB product once.
+    rule_edb_product = [
+        semiring.mul_all(edb_value[fact] for fact in rule.edb_body) for rule in ground.rules
+    ]
+
+    values: Dict[Fact, object] = {fact: semiring.zero for fact in idb_facts}
+    iterations = 0
+    converged = False
+    for _ in range(max_iterations):
+        fresh: Dict[Fact, object] = {fact: semiring.zero for fact in idb_facts}
+        for rule, edb_product in zip(ground.rules, rule_edb_product):
+            term = edb_product
+            for body_fact in rule.idb_body:
+                term = semiring.mul(term, values[body_fact])
+            fresh[rule.head] = semiring.add(fresh[rule.head], term)
+        iterations += 1
+        if all(semiring.eq(fresh[fact], values[fact]) for fact in idb_facts):
+            converged = True
+            values = fresh
+            break
+        values = fresh
+    if not converged and raise_on_divergence:
+        raise DivergenceError(
+            f"naive evaluation over {semiring.name} did not converge in "
+            f"{max_iterations} iterations"
+        )
+    return EvaluationResult(semiring, values, iterations, converged)
+
+
+def evaluate_fact(
+    program: Program,
+    database: Database,
+    semiring: Semiring,
+    fact: Fact,
+    weights: Optional[Mapping[Fact, object]] = None,
+):
+    """Least-fixpoint value of one IDB *fact* (``0`` if underivable)."""
+    result = naive_evaluation(program, database, semiring, weights)
+    return result.value(fact)
+
+
+def boolean_iterations(program: Program, database: Database) -> int:
+    """Rounds until the Boolean fixpoint (Definition 4.1 probe)."""
+    _, iterations = derivable_facts(program, database)
+    return iterations

@@ -1,0 +1,202 @@
+"""CQ expansions of linear Datalog programs (Theorem 4.5, Section 6.2).
+
+For a linear program, unfolding the recursive rules ``i`` times and
+closing with an initialization rule yields a conjunctive query ``Cᵢ``
+over the EDBs; the target satisfies ``T(I) = ⋃ᵢ Cᵢ(I)`` over any
+p-stable semiring.  Example 4.4 shows the TC expansions (paths of each
+length).
+
+Expansions of a *monadic* linear program are additionally indexed by
+*words* over the rule alphabet ``Σ_Π`` (Section 6.2): a word is a
+sequence of recursive-rule choices ending in an initialization rule.
+:func:`expansion_of_word` materializes the CQ of a given word, which
+is what the Theorem 6.8 reduction and the boundedness machinery need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .ast import Atom, DatalogError, Program, Term, Variable
+from .database import Database
+
+__all__ = [
+    "ConjunctiveQuery",
+    "unify_atoms",
+    "expansions",
+    "expansions_up_to",
+    "expansion_of_word",
+    "expansion_words",
+    "canonical_database",
+]
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A CQ ``head(x̄) :- body`` with an all-EDB body."""
+
+    head: Atom
+    body: Tuple[Atom, ...]
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        seen: Dict[Variable, None] = {}
+        for atom in (self.head, *self.body):
+            for term in atom.terms:
+                if isinstance(term, Variable):
+                    seen.setdefault(term)
+        return tuple(seen)
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+    def substitute(self, theta: Mapping[Variable, Term]) -> "ConjunctiveQuery":
+        return ConjunctiveQuery(
+            self.head.substitute(theta), tuple(a.substitute(theta) for a in self.body)
+        )
+
+    def __repr__(self) -> str:
+        body = " ∧ ".join(map(repr, self.body))
+        return f"{self.head} :- {body}"
+
+
+def _resolve(term: Term, theta: Dict[Variable, Term]) -> Term:
+    while isinstance(term, Variable) and term in theta:
+        term = theta[term]
+    return term
+
+
+def unify_atoms(
+    first: Atom, second: Atom, theta: Optional[Dict[Variable, Term]] = None
+) -> Optional[Dict[Variable, Term]]:
+    """Most general unifier of two atoms (terms are vars/constants only).
+
+    Returns an extended substitution or ``None`` when not unifiable.
+    """
+    if first.predicate != second.predicate or first.arity != second.arity:
+        return None
+    theta = dict(theta) if theta else {}
+    for s, t in zip(first.terms, second.terms):
+        s = _resolve(s, theta)
+        t = _resolve(t, theta)
+        if s == t:
+            continue
+        if isinstance(s, Variable):
+            theta[s] = t
+        elif isinstance(t, Variable):
+            theta[t] = s
+        else:
+            return None
+    return theta
+
+
+def _apply_fully(atom: Atom, theta: Dict[Variable, Term]) -> Atom:
+    return Atom(atom.predicate, tuple(_resolve(term, theta) for term in atom.terms))
+
+
+def _check_linear(program: Program) -> None:
+    if not program.is_linear():
+        raise DatalogError("CQ expansions are defined here for linear programs only")
+
+
+def expansion_words(program: Program, steps: int) -> Iterator[Tuple[int, ...]]:
+    """All words with *steps* recursive rules then one init rule.
+
+    Words are tuples of rule indices into ``program.rules``; only
+    index sequences that type-check (each rule's IDB subgoal matches
+    the next rule's head predicate, starting from the target) are
+    produced.
+    """
+    _check_linear(program)
+    idbs = program.idb_predicates
+    recursive = [
+        (i, r) for i, r in enumerate(program.rules) if not r.is_initialization(idbs)
+    ]
+    initial = [(i, r) for i, r in enumerate(program.rules) if r.is_initialization(idbs)]
+
+    def walk(predicate: str, remaining: int) -> Iterator[Tuple[int, ...]]:
+        if remaining == 0:
+            for index, rule in initial:
+                if rule.head.predicate == predicate:
+                    yield (index,)
+            return
+        for index, rule in recursive:
+            if rule.head.predicate != predicate:
+                continue
+            subgoal = rule.idb_atoms(idbs)[0]
+            for rest in walk(subgoal.predicate, remaining - 1):
+                yield (index, *rest)
+
+    yield from walk(program.target, steps)
+
+
+def expansion_of_word(program: Program, word: Sequence[int]) -> ConjunctiveQuery:
+    """Materialize the CQ of a rule-index *word* (last index = init rule).
+
+    Rules are standardized apart with per-step suffixes, each rule's
+    head unified with the pending IDB subgoal.
+    """
+    _check_linear(program)
+    idbs = program.idb_predicates
+    target_arity = program.arity_of(program.target)
+    head_vars = tuple(Variable(f"X{i}") for i in range(target_arity))
+    goal = Atom(program.target, head_vars)
+    head = goal
+    body: List[Atom] = []
+    for step, rule_index in enumerate(word):
+        rule = program.rules[rule_index].rename(f"_{step}")
+        theta = unify_atoms(rule.head, goal)
+        if theta is None:
+            raise DatalogError(
+                f"word {tuple(word)} invalid: rule {rule_index} head does not "
+                f"unify with pending goal {goal}"
+            )
+        head = _apply_fully(head, theta)
+        body = [_apply_fully(a, theta) for a in body]
+        idb_subgoals = [
+            _apply_fully(a, theta) for a in rule.body if a.predicate in idbs
+        ]
+        body.extend(_apply_fully(a, theta) for a in rule.body if a.predicate not in idbs)
+        is_last = step == len(word) - 1
+        if is_last:
+            if idb_subgoals:
+                raise DatalogError("word must end with an initialization rule")
+        else:
+            if len(idb_subgoals) != 1:
+                raise DatalogError("non-final word positions must be recursive rules")
+            goal = idb_subgoals[0]
+    return ConjunctiveQuery(head, tuple(body))
+
+
+def expansions(program: Program, steps: int) -> List[ConjunctiveQuery]:
+    """All expansions ``C`` with exactly *steps* recursive applications."""
+    return [expansion_of_word(program, word) for word in expansion_words(program, steps)]
+
+
+def expansions_up_to(program: Program, max_steps: int) -> List[List[ConjunctiveQuery]]:
+    """``[C₀-list, C₁-list, ..., C_max-list]`` grouped by step count."""
+    return [expansions(program, i) for i in range(max_steps + 1)]
+
+
+def canonical_database(
+    cq: ConjunctiveQuery, prefix: str = "c_"
+) -> Tuple[Database, Dict[Variable, object]]:
+    """Chandra–Merlin canonical database of *cq*.
+
+    Every variable is frozen into a distinct constant ``prefix+name``;
+    returns the database and the variable → constant mapping (needed
+    by the Theorem 6.8 instance construction, which identifies some of
+    these constants with graph vertices).
+    """
+    mapping: Dict[Variable, object] = {}
+    for var in cq.variables:
+        mapping[var] = f"{prefix}{var.name}"
+    db = Database()
+    for atom in cq.body:
+        args = tuple(
+            mapping[t] if isinstance(t, Variable) else t.value for t in atom.terms
+        )
+        db.add(atom.predicate, *args)
+    return db, mapping

@@ -1,0 +1,282 @@
+"""Grounding of Datalog programs (Section 2.1).
+
+A *grounding* of a rule instantiates its variables with active-domain
+constants.  Two strategies are provided:
+
+* :func:`full_grounding` -- all ``|Dom(I)|^{#vars}`` instantiations
+  whose EDB body atoms hold in the input.  This is the paper's
+  definition; exponential in rule width, usable only on tiny inputs.
+
+* :func:`relevant_grounding` -- only ground rules all of whose body
+  facts are actually derivable.  First the set of derivable IDB facts
+  is computed by semi-naive Boolean evaluation, then each rule is
+  joined against (EDB ∪ derivable IDB) facts.  Omitted ground rules
+  would contribute ``0`` to every ICO sum, so provenance polynomials
+  (and therefore all circuits built from the grounding) are unchanged;
+  this is what makes the Theorem 3.1/6.2 constructions practical
+  (DESIGN.md §6).
+
+Joins are performed by backtracking over body atoms with first-bound-
+argument indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .ast import Atom, Constant, DatalogError, Fact, Program, Variable
+from .database import Database
+
+__all__ = ["GroundRule", "GroundProgram", "full_grounding", "relevant_grounding", "derivable_facts"]
+
+
+@dataclass(frozen=True)
+class GroundRule:
+    """A grounded rule, body split into IDB and EDB facts.
+
+    The grounded head is derived from ``idb_body ∪ edb_body`` by the
+    originating rule; ``rule_index`` back-references the program rule.
+    """
+
+    head: Fact
+    idb_body: Tuple[Fact, ...]
+    edb_body: Tuple[Fact, ...]
+    rule_index: int = -1
+
+    @property
+    def body(self) -> Tuple[Fact, ...]:
+        return self.idb_body + self.edb_body
+
+    def __repr__(self) -> str:
+        body = " ∧ ".join(map(repr, self.body))
+        return f"{self.head} :- {body}"
+
+
+@dataclass
+class GroundProgram:
+    """The grounded program: ground rules indexed by head fact."""
+
+    program: Program
+    rules: List[GroundRule]
+    by_head: Dict[Fact, List[GroundRule]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.by_head:
+            for rule in self.rules:
+                self.by_head.setdefault(rule.head, []).append(rule)
+
+    @property
+    def idb_facts(self) -> FrozenSet[Fact]:
+        return frozenset(self.by_head)
+
+    @property
+    def size(self) -> int:
+        """``M`` of Theorem 4.3: total atoms over all ground rules."""
+        return sum(1 + len(rule.body) for rule in self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def rules_for(self, fact: Fact) -> Sequence[GroundRule]:
+        return self.by_head.get(fact, ())
+
+    def target_facts(self) -> List[Fact]:
+        return sorted(
+            (f for f in self.by_head if f.predicate == self.program.target), key=repr
+        )
+
+    def max_body_idbs(self) -> int:
+        return max((len(r.idb_body) for r in self.rules), default=0)
+
+    def __repr__(self) -> str:
+        return (
+            f"GroundProgram(rules={len(self.rules)}, idb_facts={len(self.by_head)}, "
+            f"size={self.size})"
+        )
+
+
+class _FactIndex:
+    """Per-predicate index: tuples, plus (position, value) → tuples."""
+
+    def __init__(self) -> None:
+        self._tuples: Dict[str, List[Tuple[Hashable, ...]]] = {}
+        self._by_arg: Dict[Tuple[str, int, Hashable], List[Tuple[Hashable, ...]]] = {}
+        self._seen: Dict[str, set] = {}
+
+    def insert(self, fact: Fact) -> bool:
+        if fact.args in self._seen.setdefault(fact.predicate, set()):
+            return False
+        self._seen[fact.predicate].add(fact.args)
+        self._tuples.setdefault(fact.predicate, []).append(fact.args)
+        for position, value in enumerate(fact.args):
+            self._by_arg.setdefault((fact.predicate, position, value), []).append(fact.args)
+        return True
+
+    def candidates(self, atom: Atom, theta: Mapping[Variable, Constant]) -> Sequence[Tuple]:
+        """Rows possibly matching *atom* under *theta* (narrowest index)."""
+        best: Optional[Sequence[Tuple]] = None
+        for position, term in enumerate(atom.terms):
+            value: Optional[Hashable] = None
+            if isinstance(term, Constant):
+                value = term.value
+            elif term in theta:
+                value = theta[term].value
+            if value is not None:
+                rows = self._by_arg.get((atom.predicate, position, value), ())
+                if best is None or len(rows) < len(best):
+                    best = rows
+        if best is None:
+            best = self._tuples.get(atom.predicate, ())
+        return best
+
+    def contains(self, fact: Fact) -> bool:
+        return fact.args in self._seen.get(fact.predicate, ())
+
+
+def _match(
+    atom: Atom, row: Tuple[Hashable, ...], theta: Dict[Variable, Constant]
+) -> Optional[Dict[Variable, Constant]]:
+    """Try to extend *theta* so that atom θ = row; None on clash."""
+    extension = dict(theta)
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:
+            bound = extension.get(term)
+            if bound is None:
+                extension[term] = Constant(value)
+            elif bound.value != value:
+                return None
+    return extension
+
+
+def _join(
+    body: Sequence[Atom], index: _FactIndex, theta: Dict[Variable, Constant]
+) -> Iterator[Dict[Variable, Constant]]:
+    """All substitutions grounding *body* against *index* (backtracking)."""
+    if not body:
+        yield theta
+        return
+    first, rest = body[0], body[1:]
+    for row in index.candidates(first, theta):
+        extended = _match(first, row, theta)
+        if extended is not None:
+            yield from _join(rest, index, extended)
+
+
+def derivable_facts(program: Program, database: Database) -> Tuple[FrozenSet[Fact], int]:
+    """Semi-naive Boolean evaluation: (derivable IDB facts, iterations).
+
+    The iteration count is the number of rounds until no new fact
+    appears -- the Boolean fixpoint iteration of Definition 4.1 used
+    by the empirical boundedness probe.
+    """
+    idbs = program.idb_predicates
+    index = _FactIndex()
+    for fact in database.facts():
+        index.insert(fact)
+
+    derived: set[Fact] = set()
+    delta: set[Fact] = set()
+    iterations = 0
+    # Round 0: fire every rule against EDB-only bindings (plus any IDBs
+    # derived so far); iterate to fixpoint with delta-driven rounds.
+    while True:
+        fresh: set[Fact] = set()
+        for rule in program.rules:
+            requires_delta = iterations > 0
+            idb_atoms = rule.idb_atoms(idbs)
+            if requires_delta and idb_atoms:
+                # Only re-derive when at least one IDB atom can bind a delta
+                # fact; cheap filter on predicates.
+                if not any(a.predicate in {f.predicate for f in delta} for a in idb_atoms):
+                    continue
+            for theta in _join(rule.body, index, {}):
+                head = rule.head.substitute(theta).to_fact()
+                if head not in derived and head not in fresh:
+                    # Semi-naive soundness check: after round 0, require a
+                    # delta fact in the body to avoid re-deriving.
+                    if requires_delta and idb_atoms:
+                        body_facts = {a.substitute(theta).to_fact() for a in idb_atoms}
+                        if not body_facts & delta:
+                            continue
+                    fresh.add(head)
+        iterations += 1
+        if not fresh:
+            break
+        for fact in fresh:
+            derived.add(fact)
+            index.insert(fact)
+        delta = fresh
+    return frozenset(derived), iterations
+
+
+def relevant_grounding(program: Program, database: Database) -> GroundProgram:
+    """Ground rules whose body facts are all derivable (see module doc)."""
+    derived, _ = derivable_facts(program, database)
+    idbs = program.idb_predicates
+    index = _FactIndex()
+    for fact in database.facts():
+        index.insert(fact)
+    for fact in derived:
+        index.insert(fact)
+
+    ground_rules: List[GroundRule] = []
+    seen: set[Tuple] = set()
+    for rule_index, rule in enumerate(program.rules):
+        for theta in _join(rule.body, index, {}):
+            head = rule.head.substitute(theta).to_fact()
+            idb_body = tuple(
+                a.substitute(theta).to_fact() for a in rule.body if a.predicate in idbs
+            )
+            edb_body = tuple(
+                a.substitute(theta).to_fact() for a in rule.body if a.predicate not in idbs
+            )
+            key = (rule_index, head, idb_body, edb_body)
+            if key not in seen:
+                seen.add(key)
+                ground_rules.append(GroundRule(head, idb_body, edb_body, rule_index))
+    return GroundProgram(program, ground_rules)
+
+
+def full_grounding(program: Program, database: Database, max_instantiations: int = 2_000_000) -> GroundProgram:
+    """All groundings over the active domain with EDB body atoms present.
+
+    Ground rules whose EDB atoms are absent from the input are dropped
+    (their value is identically ``0``); IDB body facts are kept
+    unconstrained, exactly as in the paper's grounded program.
+    """
+    domain = sorted(database.active_domain(), key=repr)
+    idbs = program.idb_predicates
+    ground_rules: List[GroundRule] = []
+    seen: set[Tuple] = set()
+    for rule_index, rule in enumerate(program.rules):
+        rule_vars = sorted(rule.variables, key=lambda v: v.name)
+        total = len(domain) ** len(rule_vars)
+        if total > max_instantiations:
+            raise DatalogError(
+                f"full grounding would create {total} instantiations; "
+                "use relevant_grounding instead"
+            )
+        assignments: List[Dict[Variable, Constant]] = [{}]
+        for var in rule_vars:
+            assignments = [
+                {**theta, var: Constant(value)} for theta in assignments for value in domain
+            ]
+        for theta in assignments:
+            edb_body = tuple(
+                a.substitute(theta).to_fact() for a in rule.body if a.predicate not in idbs
+            )
+            if any(fact not in database for fact in edb_body):
+                continue
+            head = rule.head.substitute(theta).to_fact()
+            idb_body = tuple(
+                a.substitute(theta).to_fact() for a in rule.body if a.predicate in idbs
+            )
+            key = (rule_index, head, idb_body, edb_body)
+            if key not in seen:
+                seen.add(key)
+                ground_rules.append(GroundRule(head, idb_body, edb_body, rule_index))
+    return GroundProgram(program, ground_rules)

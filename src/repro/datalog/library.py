@@ -1,0 +1,133 @@
+"""The paper's example programs, ready-made.
+
+Each function returns a fresh :class:`~repro.datalog.ast.Program`:
+
+* :func:`transitive_closure` -- the TC program of Example 2.1 (linear
+  left-linear chain; the central object of Sections 3 and 5).
+* :func:`transitive_closure_nonlinear` -- TC via ``T(x,y) :- T(x,z) ∧
+  T(z,y)``; non-linear but with the polynomial fringe property.
+* :func:`reachability` -- the monadic program ``U`` of Example 2.1.
+* :func:`bounded_example` -- Example 4.2, bounded over any absorptive
+  semiring (equivalent to a UCQ).
+* :func:`dyck1` -- Example 6.4, Dyck-1 (matched parentheses)
+  reachability; non-linear, infinite grammar, polynomial fringe.
+* :func:`same_generation` -- the classic linear same-generation
+  program (up/flat/down), a non-chain linear example.
+* :func:`rpq_program` lives in :mod:`repro.grammars.chain` (it needs
+  the grammar machinery).
+"""
+
+from __future__ import annotations
+
+from .ast import Atom, Program, Rule, Variable
+
+__all__ = [
+    "transitive_closure",
+    "transitive_closure_nonlinear",
+    "reachability",
+    "bounded_example",
+    "dyck1",
+    "same_generation",
+]
+
+_X, _Y, _Z, _W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+
+
+def transitive_closure(edge: str = "E", target: str = "T") -> Program:
+    """``T(x,y) :- E(x,y).  T(x,y) :- T(x,z) ∧ E(z,y).``"""
+    return Program(
+        [
+            Rule(Atom(target, (_X, _Y)), [Atom(edge, (_X, _Y))]),
+            Rule(Atom(target, (_X, _Y)), [Atom(target, (_X, _Z)), Atom(edge, (_Z, _Y))]),
+        ],
+        target,
+    )
+
+
+def transitive_closure_nonlinear(edge: str = "E", target: str = "D") -> Program:
+    """``D(x,y) :- E(x,y).  D(x,y) :- D(x,z) ∧ D(z,y).``
+
+    Same language as TC but non-linear; a chain program whose grammar
+    ``D ← DD | E`` is infinite, used to exercise the polynomial-fringe
+    construction on a non-linear input.
+    """
+    return Program(
+        [
+            Rule(Atom(target, (_X, _Y)), [Atom(edge, (_X, _Y))]),
+            Rule(Atom(target, (_X, _Y)), [Atom(target, (_X, _Z)), Atom(target, (_Z, _Y))]),
+        ],
+        target,
+    )
+
+
+def reachability(source: str = "A", edge: str = "E", target: str = "U") -> Program:
+    """Example 2.1's monadic program:
+    ``U(x) :- A(x).  U(x) :- U(y) ∧ E(x,y).``"""
+    return Program(
+        [
+            Rule(Atom(target, (_X,)), [Atom(source, (_X,))]),
+            Rule(Atom(target, (_X,)), [Atom(target, (_Y,)), Atom(edge, (_X, _Y))]),
+        ],
+        target,
+    )
+
+
+def bounded_example(flag: str = "A", edge: str = "E", target: str = "T") -> Program:
+    """Example 4.2: ``T(x,y) :- E(x,y).  T(x,y) :- A(x) ∧ T(z,y).``
+
+    Bounded over any absorptive semiring -- the recursive rule is
+    equivalent to ``T(x,y) :- A(x) ∧ E(z,y)`` after one unfolding.
+    """
+    return Program(
+        [
+            Rule(Atom(target, (_X, _Y)), [Atom(edge, (_X, _Y))]),
+            Rule(Atom(target, (_X, _Y)), [Atom(flag, (_X,)), Atom(target, (_Z, _Y))]),
+        ],
+        target,
+    )
+
+
+def dyck1(open_label: str = "L", close_label: str = "R", target: str = "S") -> Program:
+    """Example 6.4: Dyck-1 reachability, grammar ``S ← () | (S) | SS``::
+
+        S(x,y) :- L(x,z) ∧ R(z,y)
+        S(x,y) :- L(x,w) ∧ S(w,z) ∧ R(z,y)
+        S(x,y) :- S(x,z) ∧ S(z,y)
+    """
+    return Program(
+        [
+            Rule(Atom(target, (_X, _Y)), [Atom(open_label, (_X, _Z)), Atom(close_label, (_Z, _Y))]),
+            Rule(
+                Atom(target, (_X, _Y)),
+                [
+                    Atom(open_label, (_X, _W)),
+                    Atom(target, (_W, _Z)),
+                    Atom(close_label, (_Z, _Y)),
+                ],
+            ),
+            Rule(Atom(target, (_X, _Y)), [Atom(target, (_X, _Z)), Atom(target, (_Z, _Y))]),
+        ],
+        target,
+    )
+
+
+def same_generation(
+    up: str = "Up", flat: str = "Flat", down: str = "Down", target: str = "SG"
+) -> Program:
+    """Linear same-generation:
+    ``SG(x,y) :- Flat(x,y).  SG(x,y) :- Up(x,z) ∧ SG(z,w) ∧ Down(w,y).``
+
+    Linear, connected, binary IDB, *not* a chain program (the paper's
+    Theorem 6.2 still applies via the polynomial fringe property of
+    linear programs).
+    """
+    return Program(
+        [
+            Rule(Atom(target, (_X, _Y)), [Atom(flat, (_X, _Y))]),
+            Rule(
+                Atom(target, (_X, _Y)),
+                [Atom(up, (_X, _Z)), Atom(target, (_Z, _W)), Atom(down, (_W, _Y))],
+            ),
+        ],
+        target,
+    )

@@ -1,0 +1,151 @@
+"""A small Datalog surface-syntax parser.
+
+Grammar (one statement per rule, ``%`` or ``#`` line comments)::
+
+    rule  ::= atom ":-" atom ("," atom)* "."
+    atom  ::= IDENT "(" term ("," term)* ")"
+    term  ::= VARIABLE | CONSTANT
+
+Identifiers starting with an uppercase letter or ``_`` are variables
+(``X``, ``Y``, ``Z1``); lowercase identifiers, integers and quoted
+strings are constants.  Predicate names are taken verbatim, so both
+``T(X,Y) :- E(X,Y).`` and ``path(X,Y) :- edge(X,Y).`` work.
+
+Example::
+
+    >>> parse_program('''
+    ...     T(X, Y) :- E(X, Y).
+    ...     T(X, Y) :- T(X, Z), E(Z, Y).
+    ... ''')
+    Program(target='T')
+      T(X, Y) :- E(X, Y)
+      T(X, Y) :- T(X, Z) ∧ E(Z, Y)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Optional, Tuple
+
+from .ast import Atom, Constant, DatalogError, Program, Rule, Term, Variable
+
+__all__ = ["parse_program", "parse_rule", "parse_atom", "ParseError"]
+
+
+class ParseError(DatalogError):
+    """Raised on malformed Datalog source, with position information."""
+
+
+_TOKEN_SPEC = [
+    ("WS", r"[ \t\r\n]+"),
+    ("COMMENT", r"[%#][^\n]*"),
+    ("IMPLIES", r":-"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+    ("STRING", r"\"[^\"]*\"|'[^']*'"),
+    ("NUMBER", r"-?\d+"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+def _tokenize(text: str) -> Iterator[Tuple[str, str, int]]:
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r} at offset {position}")
+        kind = match.lastgroup
+        value = match.group()
+        position = match.end()
+        if kind in ("WS", "COMMENT"):
+            continue
+        yield kind, value, match.start()
+    yield "EOF", "", len(text)
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._tokens: List[Tuple[str, str, int]] = list(_tokenize(text))
+        self._index = 0
+
+    def _peek(self) -> Tuple[str, str, int]:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Tuple[str, str, int]:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> str:
+        actual_kind, value, offset = self._peek()
+        if actual_kind != kind:
+            raise ParseError(f"expected {kind} at offset {offset}, found {actual_kind} {value!r}")
+        self._advance()
+        return value
+
+    def parse_term(self) -> Term:
+        kind, value, offset = self._advance()
+        if kind == "IDENT":
+            if value[0].isupper() or value[0] == "_":
+                return Variable(value)
+            return Constant(value)
+        if kind == "NUMBER":
+            return Constant(int(value))
+        if kind == "STRING":
+            return Constant(value[1:-1])
+        raise ParseError(f"expected a term at offset {offset}, found {kind} {value!r}")
+
+    def parse_atom(self) -> Atom:
+        predicate = self._expect("IDENT")
+        self._expect("LPAREN")
+        terms = [self.parse_term()]
+        while self._peek()[0] == "COMMA":
+            self._advance()
+            terms.append(self.parse_term())
+        self._expect("RPAREN")
+        return Atom(predicate, terms)
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom()
+        self._expect("IMPLIES")
+        body = [self.parse_atom()]
+        while self._peek()[0] == "COMMA":
+            self._advance()
+            body.append(self.parse_atom())
+        self._expect("DOT")
+        return Rule(head, body)
+
+    def parse_rules(self) -> List[Rule]:
+        rules = []
+        while self._peek()[0] != "EOF":
+            rules.append(self.parse_rule())
+        return rules
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, e.g. ``"T(X, Y)"``."""
+    parser = _Parser(text)
+    atom = parser.parse_atom()
+    if parser._peek()[0] != "EOF":
+        raise ParseError(f"trailing input after atom: {text!r}")
+    return atom
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule, e.g. ``"T(X,Y) :- T(X,Z), E(Z,Y)."``."""
+    parser = _Parser(text)
+    rule = parser.parse_rule()
+    if parser._peek()[0] != "EOF":
+        raise ParseError(f"trailing input after rule: {text!r}")
+    return rule
+
+
+def parse_program(text: str, target: Optional[str] = None) -> Program:
+    """Parse a whole program; *target* defaults to the first rule's head."""
+    rules = _Parser(text).parse_rules()
+    if not rules:
+        raise ParseError("no rules found")
+    return Program(rules, target)

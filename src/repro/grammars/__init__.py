@@ -1,0 +1,62 @@
+"""Grammar and automata substrate for basic chain Datalog (Section 5).
+
+CFGs with finiteness decision and constructive pumping; regexes, NFAs
+and DFAs with minimization and regular pumping witnesses; the chain
+Datalog ⟷ grammar correspondence of Proposition 5.2; semiring-weighted
+CFL-reachability and RPQ evaluation via the product construction.
+"""
+
+from .cfg import CFG, GrammarError, Production, PumpingDecomposition, pumping_decomposition
+from .cflr import cfl_reachability, cfl_reachable_pairs, chain_program_for
+from .chain import (
+    cfg_to_chain_program,
+    chain_program_to_cfg,
+    dfa_to_chain_program,
+    rpq_program,
+)
+from .regular import (
+    DFA,
+    NFA,
+    ConcatRegex,
+    EmptyRegex,
+    EpsilonRegex,
+    Regex,
+    RegularPumpingWitness,
+    StarRegex,
+    SymbolRegex,
+    UnionRegex,
+    parse_regex,
+    regular_pumping_witness,
+)
+from .rpq import ProductGraph, product_graph, rpq_pairs, solve_rpq
+
+__all__ = [
+    "CFG",
+    "Production",
+    "GrammarError",
+    "PumpingDecomposition",
+    "pumping_decomposition",
+    "Regex",
+    "EmptyRegex",
+    "EpsilonRegex",
+    "SymbolRegex",
+    "ConcatRegex",
+    "UnionRegex",
+    "StarRegex",
+    "parse_regex",
+    "NFA",
+    "DFA",
+    "RegularPumpingWitness",
+    "regular_pumping_witness",
+    "chain_program_to_cfg",
+    "cfg_to_chain_program",
+    "dfa_to_chain_program",
+    "rpq_program",
+    "cfl_reachability",
+    "cfl_reachable_pairs",
+    "chain_program_for",
+    "ProductGraph",
+    "product_graph",
+    "solve_rpq",
+    "rpq_pairs",
+]

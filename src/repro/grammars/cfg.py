@@ -1,0 +1,596 @@
+"""Context-free grammars: normalization, finiteness, pumping.
+
+Basic chain Datalog programs correspond to CFGs (Proposition 5.2);
+their boundedness is exactly the *finiteness* of the grammar's
+language (Proposition 5.5), and the lower-bound reduction of Theorem
+5.11 needs an explicit *pumping decomposition* ``u v w x y`` with
+``A ⇒⁺ vAx``.  This module supplies all three ingredients:
+
+* cleaning: ε-elimination, unit-elimination, removal of useless
+  symbols (:meth:`CFG.trim`, :meth:`CFG.normalized`);
+* :meth:`CFG.is_finite` -- acyclicity of the nonterminal dependency
+  graph of the normalized grammar (decidable in polynomial time, as
+  used by the paper to decide chain-program boundedness);
+* :func:`pumping_decomposition` -- a constructive witness
+  ``(u, v, w, x, y)`` with ``|vx| ≥ 1`` and ``uvⁱwxⁱy ∈ L`` for all i;
+* word generation and CYK membership for cross-validation.
+
+Symbols are plain strings; terminals and nonterminals are explicit
+disjoint sets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Production", "CFG", "GrammarError", "PumpingDecomposition", "pumping_decomposition"]
+
+Word = Tuple[str, ...]
+
+
+class GrammarError(ValueError):
+    """Malformed grammar or unsupported operation."""
+
+
+@dataclass(frozen=True)
+class Production:
+    """``lhs → rhs`` with ``rhs`` a (possibly empty) symbol tuple."""
+
+    lhs: str
+    rhs: Tuple[str, ...]
+
+    def __init__(self, lhs: str, rhs: Iterable[str]):
+        object.__setattr__(self, "lhs", lhs)
+        object.__setattr__(self, "rhs", tuple(rhs))
+
+    def __repr__(self) -> str:
+        return f"{self.lhs} → {' '.join(self.rhs) or 'ε'}"
+
+
+class CFG:
+    """An explicit context-free grammar."""
+
+    def __init__(
+        self,
+        nonterminals: Iterable[str],
+        terminals: Iterable[str],
+        productions: Iterable[Production | Tuple[str, Iterable[str]]],
+        start: str,
+    ):
+        self.nonterminals = frozenset(nonterminals)
+        self.terminals = frozenset(terminals)
+        if self.nonterminals & self.terminals:
+            raise GrammarError(
+                f"symbols both terminal and nonterminal: {self.nonterminals & self.terminals}"
+            )
+        self.start = start
+        if start not in self.nonterminals:
+            raise GrammarError(f"start symbol {start!r} is not a nonterminal")
+        normalized: List[Production] = []
+        for item in productions:
+            production = item if isinstance(item, Production) else Production(*item)
+            if production.lhs not in self.nonterminals:
+                raise GrammarError(f"production head {production.lhs!r} not a nonterminal")
+            for symbol in production.rhs:
+                if symbol not in self.nonterminals and symbol not in self.terminals:
+                    raise GrammarError(f"unknown symbol {symbol!r} in {production}")
+            normalized.append(production)
+        self.productions: Tuple[Production, ...] = tuple(dict.fromkeys(normalized))
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rules(cls, rules: str, start: Optional[str] = None) -> "CFG":
+        """Parse a compact notation, e.g. ``"S -> a S b | a b"``.
+
+        Lines hold ``LHS -> alt₁ | alt₂``; symbols are whitespace-
+        separated; ``eps`` denotes the empty word.  Uppercase-initial
+        symbols on some left-hand side are nonterminals; everything
+        else is a terminal.
+        """
+        productions: List[Tuple[str, Tuple[str, ...]]] = []
+        heads: Set[str] = set()
+        for line in rules.strip().splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            lhs, _, rest = line.partition("->")
+            lhs = lhs.strip()
+            heads.add(lhs)
+            for alternative in rest.split("|"):
+                symbols = tuple(s for s in alternative.split() if s != "eps")
+                productions.append((lhs, symbols))
+        symbols_used: Set[str] = set()
+        for _, rhs in productions:
+            symbols_used.update(rhs)
+        terminals = symbols_used - heads
+        return cls(heads, terminals, productions, start or next(iter(heads & {productions[0][0]})))
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def productions_for(self, nonterminal: str) -> Tuple[Production, ...]:
+        return tuple(p for p in self.productions if p.lhs == nonterminal)
+
+    def generating_symbols(self) -> FrozenSet[str]:
+        """Symbols deriving some terminal word (terminals included)."""
+        generating: Set[str] = set(self.terminals)
+        changed = True
+        while changed:
+            changed = False
+            for production in self.productions:
+                if production.lhs not in generating and all(
+                    s in generating for s in production.rhs
+                ):
+                    generating.add(production.lhs)
+                    changed = True
+        return frozenset(generating)
+
+    def reachable_symbols(self) -> FrozenSet[str]:
+        """Symbols reachable from the start symbol."""
+        reachable: Set[str] = {self.start}
+        changed = True
+        while changed:
+            changed = False
+            for production in self.productions:
+                if production.lhs in reachable:
+                    for symbol in production.rhs:
+                        if symbol not in reachable:
+                            reachable.add(symbol)
+                            changed = True
+        return frozenset(reachable)
+
+    def useful_nonterminals(self) -> FrozenSet[str]:
+        return (self.generating_symbols() & self.reachable_symbols()) & self.nonterminals
+
+    def is_empty(self) -> bool:
+        """``L(G) = ∅`` iff the start symbol is not generating."""
+        return self.start not in self.generating_symbols()
+
+    def trim(self) -> "CFG":
+        """Keep only useful symbols (preserves the language)."""
+        if self.is_empty():
+            return CFG({self.start}, (), (), self.start)
+        generating = self.generating_symbols()
+        kept = [
+            p
+            for p in self.productions
+            if p.lhs in generating and all(s in generating for s in p.rhs)
+        ]
+        reachable: Set[str] = {self.start}
+        changed = True
+        while changed:
+            changed = False
+            for production in kept:
+                if production.lhs in reachable:
+                    for symbol in production.rhs:
+                        if symbol not in reachable:
+                            reachable.add(symbol)
+                            changed = True
+        productions = [
+            p
+            for p in kept
+            if p.lhs in reachable and all(s in reachable for s in p.rhs)
+        ]
+        nonterminals = {self.start} | {p.lhs for p in productions}
+        terminals = {
+            s for p in productions for s in p.rhs if s in self.terminals
+        }
+        return CFG(nonterminals, terminals, productions, self.start)
+
+    # ------------------------------------------------------------------
+    # Normalization
+    # ------------------------------------------------------------------
+
+    def nullable_nonterminals(self) -> FrozenSet[str]:
+        nullable: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for production in self.productions:
+                if production.lhs not in nullable and all(
+                    s in nullable for s in production.rhs
+                ):
+                    nullable.add(production.lhs)
+                    changed = True
+        return frozenset(nullable)
+
+    def remove_epsilon(self) -> "CFG":
+        """Eliminate ε-productions (language loses ε if it had it)."""
+        nullable = self.nullable_nonterminals()
+        productions: Set[Production] = set()
+        for production in self.productions:
+            optional_positions = [
+                i for i, s in enumerate(production.rhs) if s in nullable
+            ]
+            for mask in itertools.product((False, True), repeat=len(optional_positions)):
+                dropped = {
+                    position
+                    for position, drop in zip(optional_positions, mask)
+                    if drop
+                }
+                rhs = tuple(
+                    s for i, s in enumerate(production.rhs) if i not in dropped
+                )
+                if rhs:
+                    productions.add(Production(production.lhs, rhs))
+        return CFG(self.nonterminals, self.terminals, sorted(productions, key=repr), self.start)
+
+    def remove_units(self) -> "CFG":
+        """Eliminate unit productions ``A → B``."""
+        unit_pairs: Set[Tuple[str, str]] = {(n, n) for n in self.nonterminals}
+        changed = True
+        while changed:
+            changed = False
+            for production in self.productions:
+                if len(production.rhs) == 1 and production.rhs[0] in self.nonterminals:
+                    for a, b in list(unit_pairs):
+                        if b == production.lhs and (a, production.rhs[0]) not in unit_pairs:
+                            unit_pairs.add((a, production.rhs[0]))
+                            changed = True
+        productions: Set[Production] = set()
+        for a, b in unit_pairs:
+            for production in self.productions_for(b):
+                is_unit = (
+                    len(production.rhs) == 1 and production.rhs[0] in self.nonterminals
+                )
+                if not is_unit:
+                    productions.add(Production(a, production.rhs))
+        return CFG(self.nonterminals, self.terminals, sorted(productions, key=repr), self.start)
+
+    def normalized(self) -> "CFG":
+        """ε-free, unit-free, trimmed (standard cleaning pipeline)."""
+        return self.remove_epsilon().remove_units().trim()
+
+    def binarized(self) -> "CFG":
+        """Split bodies longer than 2 with fresh nonterminals.
+
+        Needed by the CFL-reachability solver, which works on (≤2)-ary
+        productions.  Applied after :meth:`normalized`.
+        """
+        grammar = self.normalized()
+        productions: List[Production] = []
+        nonterminals = set(grammar.nonterminals)
+        counter = itertools.count()
+        for production in grammar.productions:
+            rhs = production.rhs
+            lhs = production.lhs
+            while len(rhs) > 2:
+                fresh = f"_B{next(counter)}"
+                while fresh in nonterminals or fresh in grammar.terminals:
+                    fresh = f"_B{next(counter)}"
+                nonterminals.add(fresh)
+                productions.append(Production(lhs, (rhs[0], fresh)))
+                lhs, rhs = fresh, rhs[1:]
+            productions.append(Production(lhs, rhs))
+        return CFG(nonterminals, grammar.terminals, productions, grammar.start)
+
+    def to_cnf(self) -> "CFG":
+        """Chomsky normal form of the ε-free language.
+
+        TERM (alias terminals in long bodies) then BIN, after the
+        :meth:`normalized` cleaning.  Needed by CYK membership.
+        """
+        grammar = self.normalized()
+        alias: Dict[str, str] = {}
+        nonterminals = set(grammar.nonterminals)
+        productions: List[Production] = []
+        for production in grammar.productions:
+            if len(production.rhs) <= 1:
+                productions.append(production)
+                continue
+            rhs: List[str] = []
+            for symbol in production.rhs:
+                if symbol in grammar.terminals:
+                    if symbol not in alias:
+                        fresh = f"_T_{symbol}"
+                        while fresh in nonterminals or fresh in grammar.terminals:
+                            fresh += "_"
+                        alias[symbol] = fresh
+                        nonterminals.add(fresh)
+                    rhs.append(alias[symbol])
+                else:
+                    rhs.append(symbol)
+            productions.append(Production(production.lhs, rhs))
+        for symbol, fresh in alias.items():
+            productions.append(Production(fresh, (symbol,)))
+        termed = CFG(nonterminals, grammar.terminals, productions, grammar.start)
+        # BIN: reuse the splitting loop of binarized() on the TERMed grammar.
+        out: List[Production] = []
+        counter = itertools.count()
+        for production in termed.productions:
+            rhs = production.rhs
+            lhs = production.lhs
+            while len(rhs) > 2:
+                fresh = f"_C{next(counter)}"
+                while fresh in nonterminals or fresh in termed.terminals:
+                    fresh = f"_C{next(counter)}"
+                nonterminals.add(fresh)
+                out.append(Production(lhs, (rhs[0], fresh)))
+                lhs, rhs = fresh, rhs[1:]
+            out.append(Production(lhs, rhs))
+        return CFG(nonterminals, termed.terminals, out, termed.start)
+
+    # ------------------------------------------------------------------
+    # Finiteness (Proposition 5.5's decision procedure)
+    # ------------------------------------------------------------------
+
+    def _dependency_edges(self) -> Dict[str, Set[str]]:
+        edges: Dict[str, Set[str]] = {n: set() for n in self.nonterminals}
+        for production in self.productions:
+            for symbol in production.rhs:
+                if symbol in self.nonterminals:
+                    edges[production.lhs].add(symbol)
+        return edges
+
+    def is_finite(self) -> bool:
+        """``|L(G)| < ∞`` iff the normalized dependency graph is acyclic.
+
+        After ε/unit elimination and trimming, a cycle ``A ⇒⁺ ... A
+        ...`` pumps a nonempty context, so the language is infinite;
+        conversely an acyclic graph bounds derivation height and hence
+        word length.
+        """
+        grammar = self.normalized()
+        if grammar.start not in {p.lhs for p in grammar.productions} and not any(
+            p.lhs == grammar.start for p in grammar.productions
+        ):
+            return True  # empty or {ε}: finite
+        edges = grammar._dependency_edges()
+        # Cycle detection (iterative DFS with colors).
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {n: WHITE for n in edges}
+        for root in edges:
+            if color[root] != WHITE:
+                continue
+            stack: List[Tuple[str, Iterator[str]]] = [(root, iter(edges[root]))]
+            color[root] = GRAY
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if color[child] == GRAY:
+                        return False
+                    if color[child] == WHITE:
+                        color[child] = GRAY
+                        stack.append((child, iter(edges[child])))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return True
+
+    # ------------------------------------------------------------------
+    # Word generation and membership
+    # ------------------------------------------------------------------
+
+    def shortest_terminal_words(self) -> Dict[str, Word]:
+        """Shortest word derivable from each symbol (terminals: itself)."""
+        best: Dict[str, Word] = {t: (t,) for t in self.terminals}
+        changed = True
+        while changed:
+            changed = False
+            for production in self.productions:
+                if all(s in best for s in production.rhs):
+                    candidate: Word = tuple(
+                        itertools.chain.from_iterable(best[s] for s in production.rhs)
+                    )
+                    current = best.get(production.lhs)
+                    if current is None or len(candidate) < len(current):
+                        best[production.lhs] = candidate
+                        changed = True
+        return best
+
+    def generate_words(self, max_length: int, limit: int = 500_000) -> Set[Word]:
+        """All words of length ≤ *max_length*.
+
+        Works on the normalized (ε-free, unit-free, trimmed) grammar,
+        where every symbol derives at least one terminal -- so any
+        sentential form longer than *max_length* can be pruned and the
+        search space is finite.  ε is re-added when the start symbol
+        is nullable in the original grammar.
+        """
+        words: Set[Word] = set()
+        if self.start in self.nullable_nonterminals() and max_length >= 0:
+            words.add(())
+        grammar = self.normalized()
+        if grammar.is_empty():
+            return words
+        seen: Set[Tuple[str, ...]] = {(grammar.start,)}
+        frontier: List[Tuple[str, ...]] = [(grammar.start,)]
+        steps = 0
+        while frontier and steps < limit:
+            form = frontier.pop()
+            steps += 1
+            first_nt = next(
+                (i for i, s in enumerate(form) if s in grammar.nonterminals), None
+            )
+            if first_nt is None:
+                words.add(form)
+                continue
+            for production in grammar.productions_for(form[first_nt]):
+                expanded = form[:first_nt] + production.rhs + form[first_nt + 1 :]
+                # ε/unit-freeness: every symbol yields ≥ 1 terminal, so
+                # longer forms can never shrink under max_length again.
+                if len(expanded) <= max_length and expanded not in seen:
+                    seen.add(expanded)
+                    frontier.append(expanded)
+        return words
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """CYK membership on the binarized grammar; ε via nullability."""
+        word = tuple(word)
+        if not word:
+            return self.start in self.nullable_nonterminals()
+        grammar = self.to_cnf()
+        n = len(word)
+        # table[i][j] = nonterminals deriving word[i:i+j+1]
+        table: List[List[Set[str]]] = [[set() for _ in range(n)] for _ in range(n)]
+        for i, symbol in enumerate(word):
+            for production in grammar.productions:
+                if production.rhs == (symbol,):
+                    table[i][0].add(production.lhs)
+        for span in range(2, n + 1):
+            for i in range(n - span + 1):
+                cell = table[i][span - 1]
+                for split in range(1, span):
+                    left = table[i][split - 1]
+                    right = table[i + split][span - split - 1]
+                    if not left or not right:
+                        continue
+                    for production in grammar.productions:
+                        if len(production.rhs) == 2:
+                            b, c = production.rhs
+                            if b in left and c in right:
+                                cell.add(production.lhs)
+        return self.start in table[0][n - 1]
+
+    def __repr__(self) -> str:
+        lines = [f"CFG(start={self.start!r})"]
+        lines.extend(f"  {p}" for p in self.productions)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PumpingDecomposition:
+    """A constructive CFG pumping witness: ``S ⇒* u A y``, ``A ⇒⁺ v A x``,
+    ``A ⇒* w``; hence ``u vⁱ w xⁱ y ∈ L`` for every ``i ≥ 0``.
+
+    This is the object Theorem 5.11's reduction consumes (its
+    ``u, v, w, x, y``).  Guarantees ``|vx| ≥ 1``.
+    """
+
+    u: Word
+    v: Word
+    w: Word
+    x: Word
+    y: Word
+    pivot: str
+
+    def pumped(self, i: int) -> Word:
+        return self.u + self.v * i + self.w + self.x * i + self.y
+
+    def __repr__(self) -> str:
+        def fmt(word: Word) -> str:
+            return "".join(word) or "ε"
+
+        return (
+            f"PumpingDecomposition(u={fmt(self.u)}, v={fmt(self.v)}, w={fmt(self.w)}, "
+            f"x={fmt(self.x)}, y={fmt(self.y)}, pivot={self.pivot})"
+        )
+
+
+def pumping_decomposition(grammar: CFG) -> Optional[PumpingDecomposition]:
+    """Find a pumping witness; ``None`` when the language is finite.
+
+    Works on the normalized grammar: a cycle ``A₀ → A₁ → ... → A₀`` in
+    the dependency graph is unrolled, expanding the context symbols of
+    each step to shortest terminal words; ε/unit-freeness guarantees
+    the pumped context ``v·x`` is nonempty.
+    """
+    normalized = grammar.normalized()
+    if normalized.is_finite():
+        return None
+    edges = normalized._dependency_edges()
+    shortest = normalized.shortest_terminal_words()
+
+    # Locate a cycle via DFS.
+    def find_cycle() -> List[str]:
+        WHITE, GRAY = 0, 1
+        color: Dict[str, int] = {n: WHITE for n in edges}
+        parent: Dict[str, str] = {}
+        for root in edges:
+            if color[root] != WHITE:
+                continue
+            stack = [(root, iter(edges[root]))]
+            color[root] = GRAY
+            path = [root]
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if color[child] == GRAY and child in path:
+                        return path[path.index(child) :]
+                    if color[child] == WHITE:
+                        color[child] = GRAY
+                        parent[child] = node
+                        stack.append((child, iter(edges[child])))
+                        path.append(child)
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    path.pop()
+        raise GrammarError("infinite grammar without a cycle (internal error)")
+
+    cycle = find_cycle()
+    pivot = cycle[0]
+
+    # Unroll the cycle once: pivot ⇒+ v pivot x.  Among the candidate
+    # productions/occurrences, prefer one with a nonempty left context
+    # so that |v| ≥ 1 whenever the grammar allows it -- the Theorem 5.11
+    # reduction expands each edge into the word v and needs it nonempty.
+    v: List[str] = []
+    x: List[str] = []
+    current = pivot
+    for next_nt in cycle[1:] + [pivot]:
+        candidates = [
+            (p, i)
+            for p in normalized.productions_for(current)
+            for i, symbol in enumerate(p.rhs)
+            if symbol == next_nt
+        ]
+        candidates.sort(key=lambda pair: pair[1] == 0)  # prefix-first
+        production, position = candidates[0]
+        for symbol in production.rhs[:position]:
+            v.extend(shortest[symbol])
+        suffix: List[str] = []
+        for symbol in production.rhs[position + 1 :]:
+            suffix.extend(shortest[symbol])
+        x[:0] = suffix  # prepend: inner contexts nest inside outer ones
+        current = next_nt
+
+    w = shortest[pivot]
+
+    # Derive S ⇒* u pivot y: BFS over "contains" edges recording the
+    # production and position used.
+    parents: Dict[str, Tuple[str, Production, int]] = {}
+    frontier = [normalized.start]
+    seen = {normalized.start}
+    while frontier:
+        node = frontier.pop(0)
+        if node == pivot:
+            break
+        for production in normalized.productions_for(node):
+            for position, symbol in enumerate(production.rhs):
+                if symbol in normalized.nonterminals and symbol not in seen:
+                    seen.add(symbol)
+                    parents[symbol] = (node, production, position)
+                    frontier.append(symbol)
+    u: List[str] = []
+    y: List[str] = []
+    node = pivot
+    while node != normalized.start:
+        origin, production, position = parents[node]
+        prefix: List[str] = []
+        for symbol in production.rhs[:position]:
+            prefix.extend(shortest[symbol])
+        suffix = []
+        for symbol in production.rhs[position + 1 :]:
+            suffix.extend(shortest[symbol])
+        u[:0] = prefix
+        y.extend(suffix)
+        node = origin
+
+    decomposition = PumpingDecomposition(
+        tuple(u), tuple(v), tuple(w), tuple(x), tuple(y), pivot
+    )
+    if not decomposition.v and not decomposition.x:
+        raise GrammarError("pumping produced an empty context (internal error)")
+    return decomposition

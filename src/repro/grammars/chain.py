@@ -1,0 +1,116 @@
+"""Chain Datalog ⟷ grammars (Proposition 5.2).
+
+A basic chain Datalog program corresponds to a CFG: IDBs are
+nonterminals, EDBs terminals, the target IDB the start symbol, rules
+the productions with variables erased.  Conversely an ε-free CFG
+becomes a chain program whose rule bodies thread ``x → z₁ → ... → y``.
+
+For *regular* languages, :func:`dfa_to_chain_program` builds the
+left-linear chain program of an RPQ from its DFA (the shape Theorem
+5.8's magic-set argument starts from).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..datalog.ast import Atom, DatalogError, Program, Rule, Variable
+from .cfg import CFG, GrammarError, Production
+from .regular import DFA
+
+__all__ = [
+    "chain_program_to_cfg",
+    "cfg_to_chain_program",
+    "dfa_to_chain_program",
+    "rpq_program",
+]
+
+
+def chain_program_to_cfg(program: Program) -> CFG:
+    """Erase variables: IDB → nonterminal, EDB → terminal (Prop 5.2)."""
+    if not program.is_basic_chain():
+        raise DatalogError("program is not basic chain; no corresponding CFG")
+    productions = [
+        Production(rule.head.predicate, tuple(a.predicate for a in rule.body))
+        for rule in program.rules
+    ]
+    return CFG(
+        program.idb_predicates,
+        program.edb_predicates,
+        productions,
+        program.target,
+    )
+
+
+def cfg_to_chain_program(grammar: CFG, target: Optional[str] = None) -> Program:
+    """Each production ``A → X₁...Xₖ`` becomes the chain rule
+    ``A(x, y) :- X₁(x, z₁) ∧ ... ∧ Xₖ(zₖ₋₁, y)``.
+
+    ε-productions are not expressible as (safe) chain rules; clean the
+    grammar with :meth:`CFG.remove_epsilon` first.
+    """
+    rules: List[Rule] = []
+    x, y = Variable("X"), Variable("Y")
+    for production in grammar.productions:
+        if not production.rhs:
+            raise GrammarError(
+                f"ε-production {production} has no chain-rule equivalent; "
+                "remove ε first"
+            )
+        variables = [x] + [Variable(f"Z{i}") for i in range(1, len(production.rhs))] + [y]
+        body = [
+            Atom(symbol, (variables[i], variables[i + 1]))
+            for i, symbol in enumerate(production.rhs)
+        ]
+        rules.append(Rule(Atom(production.lhs, (x, y)), body))
+    return Program(rules, target or grammar.start)
+
+
+def dfa_to_chain_program(
+    dfa: DFA, target: str = "S", state_prefix: str = "Q"
+) -> Tuple[Program, bool]:
+    """Right-linear chain program of ``L(dfa) \\ {ε}`` from a DFA.
+
+    Nonterminal ``Qᵢ`` derives the words taking state ``i`` to an
+    accept state: ``Qᵢ → a Qⱼ`` for each transition ``δ(i, a) = j``
+    and ``Qᵢ → a`` when ``j`` accepts.  The start symbol is aliased to
+    *target*.  Returns ``(program, accepts_epsilon)``; chain Datalog
+    cannot express the ε-word (a fact ``T(x, x)``), so callers must
+    handle ``accepts_epsilon`` separately.
+    """
+    x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+    rules: List[Rule] = []
+    name: Dict[int, str] = {state: f"{state_prefix}{state}" for state in range(dfa.num_states)}
+    name[dfa.start] = target
+    has_outgoing = {state for (state, _symbol) in dfa.transitions}
+    for (state, symbol), nxt in sorted(dfa.transitions.items(), key=repr):
+        label = str(symbol)
+        if nxt in has_outgoing:
+            # A recursive rule into a dead-end state would reference an
+            # IDB with no rules (semantically vacuous, and it would turn
+            # the corresponding grammar nonterminal into a spurious
+            # terminal); emit it only when the state can continue.
+            rules.append(
+                Rule(Atom(name[state], (x, y)), [Atom(label, (x, z)), Atom(name[nxt], (z, y))])
+            )
+        if nxt in dfa.accepts:
+            rules.append(Rule(Atom(name[state], (x, y)), [Atom(label, (x, y))]))
+    if not rules:
+        raise GrammarError("DFA accepts at most ε; no chain program exists")
+    program = Program(rules, target)
+    return program, dfa.start in dfa.accepts
+
+
+def rpq_program(regex_or_dfa, target: str = "S") -> Tuple[Program, bool]:
+    """Chain program of an RPQ given a regex (str/:class:`Regex`) or DFA."""
+    from .regular import Regex, parse_regex
+
+    if isinstance(regex_or_dfa, str):
+        dfa = parse_regex(regex_or_dfa).to_dfa()
+    elif isinstance(regex_or_dfa, Regex):
+        dfa = regex_or_dfa.to_dfa()
+    elif isinstance(regex_or_dfa, DFA):
+        dfa = regex_or_dfa.minimized()
+    else:
+        raise TypeError(f"expected regex or DFA, got {type(regex_or_dfa).__name__}")
+    return dfa_to_chain_program(dfa, target)

@@ -1,0 +1,561 @@
+"""Regular languages: regexes, NFAs, DFAs, finiteness, pumping.
+
+Regular Path Queries (Section 5) are basic chain Datalog programs
+whose grammar is regular.  The dichotomy of Theorem 5.3 hinges on the
+finiteness of the language (decidable on the DFA), and the reduction
+of Theorem 5.9 needs a regular pumping witness ``x y z`` with
+``x yⁱ z ∈ L`` for all ``i``; both are implemented here, along with
+Thompson construction, subset construction and Moore minimization.
+
+Symbols are arbitrary hashable objects (edge labels); the regex parser
+works on single-character symbols for convenience, while programmatic
+regexes (:class:`Regex` combinators) accept any symbols.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Regex",
+    "EmptyRegex",
+    "EpsilonRegex",
+    "SymbolRegex",
+    "ConcatRegex",
+    "UnionRegex",
+    "StarRegex",
+    "parse_regex",
+    "NFA",
+    "DFA",
+    "RegularPumpingWitness",
+    "regular_pumping_witness",
+]
+
+Symbol = Hashable
+Word = Tuple[Symbol, ...]
+
+
+# ----------------------------------------------------------------------
+# Regex AST
+# ----------------------------------------------------------------------
+
+
+class Regex:
+    """Base class; build with ``|``, ``+`` (concat) and ``.star()``."""
+
+    def __or__(self, other: "Regex") -> "Regex":
+        return UnionRegex(self, other)
+
+    def __add__(self, other: "Regex") -> "Regex":
+        return ConcatRegex(self, other)
+
+    def star(self) -> "Regex":
+        return StarRegex(self)
+
+    def plus(self) -> "Regex":
+        return ConcatRegex(self, StarRegex(self))
+
+    def optional(self) -> "Regex":
+        return UnionRegex(self, EpsilonRegex())
+
+    def to_nfa(self) -> "NFA":
+        return _thompson(self)
+
+    def to_dfa(self) -> "DFA":
+        return self.to_nfa().to_dfa().minimized()
+
+
+@dataclass(frozen=True)
+class EmptyRegex(Regex):
+    def __repr__(self) -> str:
+        return "∅"
+
+
+@dataclass(frozen=True)
+class EpsilonRegex(Regex):
+    def __repr__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class SymbolRegex(Regex):
+    symbol: Symbol
+
+    def __repr__(self) -> str:
+        return str(self.symbol)
+
+
+@dataclass(frozen=True)
+class ConcatRegex(Regex):
+    left: Regex
+    right: Regex
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}{self.right!r})"
+
+
+@dataclass(frozen=True)
+class UnionRegex(Regex):
+    left: Regex
+    right: Regex
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}|{self.right!r})"
+
+
+@dataclass(frozen=True)
+class StarRegex(Regex):
+    inner: Regex
+
+    def __repr__(self) -> str:
+        return f"({self.inner!r})*"
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse single-character-symbol regexes: ``a(b|c)*d``, ``+``, ``?``.
+
+    Grammar: union (``|``) < concat < postfix (``*``, ``+``, ``?``) <
+    atoms (symbol chars, parenthesized groups).  Whitespace ignored.
+    """
+    tokens = [c for c in text if not c.isspace()]
+    position = [0]
+
+    def peek() -> Optional[str]:
+        return tokens[position[0]] if position[0] < len(tokens) else None
+
+    def advance() -> str:
+        char = tokens[position[0]]
+        position[0] += 1
+        return char
+
+    def parse_union() -> Regex:
+        node = parse_concat()
+        while peek() == "|":
+            advance()
+            node = UnionRegex(node, parse_concat())
+        return node
+
+    def parse_concat() -> Regex:
+        parts: List[Regex] = []
+        while peek() is not None and peek() not in ")|":
+            parts.append(parse_postfix())
+        if not parts:
+            return EpsilonRegex()
+        node = parts[0]
+        for part in parts[1:]:
+            node = ConcatRegex(node, part)
+        return node
+
+    def parse_postfix() -> Regex:
+        node = parse_atom()
+        while peek() in ("*", "+", "?"):
+            operator = advance()
+            if operator == "*":
+                node = StarRegex(node)
+            elif operator == "+":
+                node = node.plus()
+            else:
+                node = node.optional()
+        return node
+
+    def parse_atom() -> Regex:
+        char = peek()
+        if char == "(":
+            advance()
+            node = parse_union()
+            if peek() != ")":
+                raise ValueError(f"unbalanced parentheses in regex {text!r}")
+            advance()
+            return node
+        if char is None or char in ")|*+?":
+            raise ValueError(f"unexpected {char!r} in regex {text!r}")
+        return SymbolRegex(advance())
+
+    node = parse_union()
+    if position[0] != len(tokens):
+        raise ValueError(f"trailing input in regex {text!r}")
+    return node
+
+
+# ----------------------------------------------------------------------
+# NFA (Thompson construction)
+# ----------------------------------------------------------------------
+
+_EPS = None  # epsilon label in NFA transition dicts
+
+
+@dataclass
+class NFA:
+    """An NFA with ε-moves; states are integers."""
+
+    num_states: int
+    transitions: Dict[Tuple[int, Optional[Symbol]], Set[int]]
+    start: int
+    accepts: FrozenSet[int]
+    alphabet: FrozenSet[Symbol] = field(default_factory=frozenset)
+
+    def epsilon_closure(self, states: Iterable[int]) -> FrozenSet[int]:
+        closure = set(states)
+        stack = list(closure)
+        while stack:
+            state = stack.pop()
+            for nxt in self.transitions.get((state, _EPS), ()):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return frozenset(closure)
+
+    def accepts_word(self, word: Sequence[Symbol]) -> bool:
+        current = self.epsilon_closure({self.start})
+        for symbol in word:
+            moved: Set[int] = set()
+            for state in current:
+                moved |= self.transitions.get((state, symbol), set())
+            current = self.epsilon_closure(moved)
+            if not current:
+                return False
+        return bool(current & self.accepts)
+
+    def to_dfa(self) -> "DFA":
+        """Subset construction (unreachable subsets never materialized)."""
+        alphabet = sorted(self.alphabet, key=repr)
+        start = self.epsilon_closure({self.start})
+        index: Dict[FrozenSet[int], int] = {start: 0}
+        order: List[FrozenSet[int]] = [start]
+        transitions: Dict[Tuple[int, Symbol], int] = {}
+        frontier = [start]
+        while frontier:
+            subset = frontier.pop()
+            source = index[subset]
+            for symbol in alphabet:
+                moved: Set[int] = set()
+                for state in subset:
+                    moved |= self.transitions.get((state, symbol), set())
+                if not moved:
+                    continue
+                closure = self.epsilon_closure(moved)
+                if closure not in index:
+                    index[closure] = len(order)
+                    order.append(closure)
+                    frontier.append(closure)
+                transitions[(source, symbol)] = index[closure]
+        accepts = frozenset(
+            index[subset] for subset in order if subset & self.accepts
+        )
+        return DFA(len(order), dict(transitions), 0, accepts, frozenset(alphabet))
+
+
+def _thompson(regex: Regex) -> NFA:
+    transitions: Dict[Tuple[int, Optional[Symbol]], Set[int]] = {}
+    alphabet: Set[Symbol] = set()
+    counter = itertools.count()
+
+    def fresh() -> int:
+        return next(counter)
+
+    def connect(src: int, label: Optional[Symbol], dst: int) -> None:
+        transitions.setdefault((src, label), set()).add(dst)
+
+    def build(node: Regex) -> Tuple[int, int]:
+        start, end = fresh(), fresh()
+        if isinstance(node, EmptyRegex):
+            pass
+        elif isinstance(node, EpsilonRegex):
+            connect(start, _EPS, end)
+        elif isinstance(node, SymbolRegex):
+            alphabet.add(node.symbol)
+            connect(start, node.symbol, end)
+        elif isinstance(node, ConcatRegex):
+            ls, le = build(node.left)
+            rs, re_ = build(node.right)
+            connect(start, _EPS, ls)
+            connect(le, _EPS, rs)
+            connect(re_, _EPS, end)
+        elif isinstance(node, UnionRegex):
+            ls, le = build(node.left)
+            rs, re_ = build(node.right)
+            connect(start, _EPS, ls)
+            connect(start, _EPS, rs)
+            connect(le, _EPS, end)
+            connect(re_, _EPS, end)
+        elif isinstance(node, StarRegex):
+            inner_start, inner_end = build(node.inner)
+            connect(start, _EPS, end)
+            connect(start, _EPS, inner_start)
+            connect(inner_end, _EPS, inner_start)
+            connect(inner_end, _EPS, end)
+        else:  # pragma: no cover - closed hierarchy
+            raise TypeError(f"unknown regex node {node!r}")
+        return start, end
+
+    start, end = build(regex)
+    return NFA(next(counter), transitions, start, frozenset({end}), frozenset(alphabet))
+
+
+# ----------------------------------------------------------------------
+# DFA
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DFA:
+    """A (partial) deterministic automaton; missing edges reject."""
+
+    num_states: int
+    transitions: Dict[Tuple[int, Symbol], int]
+    start: int
+    accepts: FrozenSet[int]
+    alphabet: FrozenSet[Symbol]
+
+    def step(self, state: int, symbol: Symbol) -> Optional[int]:
+        return self.transitions.get((state, symbol))
+
+    def accepts_word(self, word: Sequence[Symbol]) -> bool:
+        state: Optional[int] = self.start
+        for symbol in word:
+            state = self.step(state, symbol)
+            if state is None:
+                return False
+        return state in self.accepts
+
+    # -- reachability ---------------------------------------------------
+
+    def reachable_states(self) -> FrozenSet[int]:
+        seen = {self.start}
+        stack = [self.start]
+        while stack:
+            state = stack.pop()
+            for symbol in self.alphabet:
+                nxt = self.step(state, symbol)
+                if nxt is not None and nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return frozenset(seen)
+
+    def coaccessible_states(self) -> FrozenSet[int]:
+        """States from which some accept state is reachable."""
+        reverse: Dict[int, Set[int]] = {}
+        for (src, _symbol), dst in self.transitions.items():
+            reverse.setdefault(dst, set()).add(src)
+        seen = set(self.accepts)
+        stack = list(self.accepts)
+        while stack:
+            state = stack.pop()
+            for prev in reverse.get(state, ()):
+                if prev not in seen:
+                    seen.add(prev)
+                    stack.append(prev)
+        return frozenset(seen)
+
+    def trim_states(self) -> FrozenSet[int]:
+        return self.reachable_states() & self.coaccessible_states()
+
+    # -- minimization (Moore partition refinement) ------------------------
+
+    def minimized(self) -> "DFA":
+        """Moore refinement on the trimmed automaton (partial DFA kept
+        partial: a dead sink is never introduced)."""
+        live = self.trim_states()
+        if self.start not in live:
+            return DFA(1, {}, 0, frozenset(), self.alphabet)
+        alphabet = sorted(self.alphabet, key=repr)
+        partition: Dict[int, int] = {
+            state: (1 if state in self.accepts else 0) for state in live
+        }
+        while True:
+            signatures: Dict[int, Tuple] = {}
+            for state in live:
+                row = tuple(
+                    partition.get(self.step(state, symbol), -1)
+                    if self.step(state, symbol) in live
+                    else -1
+                    for symbol in alphabet
+                )
+                signatures[state] = (partition[state], row)
+            blocks: Dict[Tuple, int] = {}
+            fresh: Dict[int, int] = {}
+            for state in sorted(live):
+                block = blocks.setdefault(signatures[state], len(blocks))
+                fresh[state] = block
+            # Moore refinement only splits blocks, so an unchanged block
+            # count means the partition is stable.
+            stable = len(set(fresh.values())) == len(set(partition.values()))
+            partition = fresh
+            if stable:
+                break
+        block_count = len(set(partition.values()))
+        transitions: Dict[Tuple[int, Symbol], int] = {}
+        for state in live:
+            for symbol in alphabet:
+                nxt = self.step(state, symbol)
+                if nxt is not None and nxt in live:
+                    transitions[(partition[state], symbol)] = partition[nxt]
+        accepts = frozenset(partition[s] for s in self.accepts if s in live)
+        return DFA(block_count, transitions, partition[self.start], accepts, self.alphabet)
+
+    # -- language properties ----------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not (self.reachable_states() & self.accepts)
+
+    def is_finite(self) -> bool:
+        """Finite iff no trim state lies on a cycle (Theorem 5.3's
+        decidable dichotomy test for RPQs)."""
+        live = self.trim_states()
+        edges: Dict[int, Set[int]] = {s: set() for s in live}
+        for (src, _symbol), dst in self.transitions.items():
+            if src in live and dst in live:
+                edges[src].add(dst)
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {s: WHITE for s in live}
+        for root in live:
+            if color[root] != WHITE:
+                continue
+            stack: List[Tuple[int, Iterable[int]]] = [(root, iter(edges[root]))]
+            color[root] = GRAY
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if color[child] == GRAY:
+                        return False
+                    if color[child] == WHITE:
+                        color[child] = GRAY
+                        stack.append((child, iter(edges[child])))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return True
+
+    def enumerate_words(self, max_length: int) -> Set[Word]:
+        """All accepted words of length ≤ *max_length* (test oracle)."""
+        words: Set[Word] = set()
+        frontier: List[Tuple[int, Word]] = [(self.start, ())]
+        while frontier:
+            state, word = frontier.pop()
+            if state in self.accepts:
+                words.add(word)
+            if len(word) == max_length:
+                continue
+            for symbol in sorted(self.alphabet, key=repr):
+                nxt = self.step(state, symbol)
+                if nxt is not None:
+                    frontier.append((nxt, word + (symbol,)))
+        return words
+
+    def longest_word_length(self, cap: int = 10_000) -> int:
+        """Length of the longest accepted word of a *finite* language."""
+        if not self.is_finite():
+            raise ValueError("language is infinite")
+        live = self.trim_states()
+        # Longest path in the trim DAG.
+        order: List[int] = []
+        seen: Set[int] = set()
+
+        def visit(state: int) -> None:
+            if state in seen:
+                return
+            seen.add(state)
+            for symbol in self.alphabet:
+                nxt = self.step(state, symbol)
+                if nxt is not None and nxt in live:
+                    visit(nxt)
+            order.append(state)
+
+        if self.start in live:
+            visit(self.start)
+        longest: Dict[int, int] = {}
+        for state in order:
+            best = 0 if state in self.accepts else -1
+            for symbol in self.alphabet:
+                nxt = self.step(state, symbol)
+                if nxt is not None and nxt in live and longest.get(nxt, -1) >= 0:
+                    best = max(best, 1 + longest[nxt])
+            longest[state] = best
+        return max(longest.get(self.start, 0), 0)
+
+
+@dataclass(frozen=True)
+class RegularPumpingWitness:
+    """A regular pumping witness: ``x yⁱ z ∈ L`` for all ``i ≥ 0``,
+    with ``|y| ≥ 1`` (the input to Theorem 5.9's reduction)."""
+
+    x: Word
+    y: Word
+    z: Word
+
+    def pumped(self, i: int) -> Word:
+        return self.x + self.y * i + self.z
+
+    def __repr__(self) -> str:
+        def fmt(word: Word) -> str:
+            return "".join(map(str, word)) or "ε"
+
+        return f"RegularPumpingWitness(x={fmt(self.x)}, y={fmt(self.y)}, z={fmt(self.z)})"
+
+
+def regular_pumping_witness(dfa: DFA) -> Optional[RegularPumpingWitness]:
+    """Find ``(x, y, z)`` with ``x yⁱ z`` accepted for all ``i``;
+    ``None`` iff the language is finite.
+
+    Constructive: pick a trim state on a cycle; ``x`` is a shortest
+    path from the start to it, ``y`` a shortest cycle through it,
+    ``z`` a shortest path to an accept state.
+    """
+    if dfa.is_finite():
+        return None
+    live = dfa.trim_states()
+    alphabet = sorted(dfa.alphabet, key=repr)
+
+    def bfs_path(sources: Iterable[int], goal_test) -> Optional[Tuple[int, Word]]:
+        frontier: List[Tuple[int, Word]] = [(s, ()) for s in sources]
+        seen = {s for s, _ in frontier}
+        while frontier:
+            state, word = frontier.pop(0)
+            if goal_test(state, word):
+                return state, word
+            for symbol in alphabet:
+                nxt = dfa.step(state, symbol)
+                if nxt is not None and nxt in live and nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append((nxt, word + (symbol,)))
+        return None
+
+    # A live state lying on a cycle, with its shortest cycle word.
+    best: Optional[Tuple[int, Word, Word]] = None
+    for state in sorted(live):
+        # shortest non-empty word from state back to itself
+        frontier: List[Tuple[int, Word]] = []
+        for symbol in alphabet:
+            nxt = dfa.step(state, symbol)
+            if nxt is not None and nxt in live:
+                frontier.append((nxt, (symbol,)))
+        seen = {s for s, _ in frontier}
+        cycle: Optional[Word] = None
+        while frontier:
+            current, word = frontier.pop(0)
+            if current == state:
+                cycle = word
+                break
+            for symbol in alphabet:
+                nxt = dfa.step(current, symbol)
+                if nxt is not None and nxt in live and nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append((nxt, word + (symbol,)))
+        if cycle:
+            prefix = bfs_path([dfa.start], lambda s, _w, target=state: s == target)
+            if prefix is None:
+                continue
+            if best is None or len(prefix[1]) + len(cycle) < len(best[1]) + len(best[2]):
+                best = (state, prefix[1], cycle)
+    if best is None:
+        return None
+    pivot, x, y = best
+    suffix = bfs_path([pivot], lambda s, _w: s in dfa.accepts)
+    if suffix is None:  # pragma: no cover - pivot is co-accessible
+        return None
+    return RegularPumpingWitness(x, y, suffix[1])

@@ -1,0 +1,49 @@
+"""The paper's lower-bound reductions, as executable circuit rewrites.
+
+Lower bounds cannot be "run", but their reductions can: each module
+builds the instance transformation of a hardness proof and the
+size/depth-preserving circuit transfer that makes it a circuit
+reduction (see DESIGN.md §3 for the substitution rationale).
+
+* :mod:`~repro.reductions.tc_to_rpq` -- Theorem 5.9 (TC is as easy as
+  any infinite RPQ): regular pumping + edge expansion + input rewiring.
+* :mod:`~repro.reductions.rpq_to_tc` -- Theorem 5.9 converse (any RPQ
+  is as easy as TC): DFA product + per-accept-state TC + rewiring.
+* :mod:`~repro.reductions.tc_to_cfg` -- Theorem 5.11 (unbounded chain
+  programs are TC-hard): CFG pumping on layered graphs.
+* :mod:`~repro.reductions.monadic` -- Theorem 6.8 (unbounded monadic
+  linear connected programs are TC-hard): canonical databases of
+  pumpable expansion segments glued along a layered graph.
+"""
+
+from .monadic import (
+    MonadicReductionInstance,
+    MonadicSegment,
+    MonadicWitness,
+    find_monadic_witness,
+    monadic_reduction_instance,
+    transfer_monadic_circuit_to_tc,
+    unfold_segment,
+)
+from .rpq_to_tc import rpq_circuit_via_tc
+from .tc_to_cfg import TCToCFGInstance, tc_to_cfg_instance, transfer_cfg_circuit_to_tc
+from .tc_to_rpq import TCToRPQInstance, tc_to_rpq_instance, transfer_rpq_circuit_to_tc
+from .transfer import rewire_circuit
+
+__all__ = [
+    "rewire_circuit",
+    "TCToRPQInstance",
+    "tc_to_rpq_instance",
+    "transfer_rpq_circuit_to_tc",
+    "rpq_circuit_via_tc",
+    "TCToCFGInstance",
+    "tc_to_cfg_instance",
+    "transfer_cfg_circuit_to_tc",
+    "MonadicSegment",
+    "MonadicWitness",
+    "unfold_segment",
+    "find_monadic_witness",
+    "MonadicReductionInstance",
+    "monadic_reduction_instance",
+    "transfer_monadic_circuit_to_tc",
+]

@@ -1,0 +1,348 @@
+"""TC → monadic linear connected Datalog (Theorem 6.8's machinery).
+
+Theorem 6.8 lower-bounds unbounded monadic linear connected programs
+by encoding each edge of a layered graph as the *canonical database*
+of a pumpable expansion segment, instead of as a labeled path (the
+chain-program trick of Theorem 5.9 is unavailable because the EDBs
+need not be binary path relations).
+
+The executable content implemented here:
+
+* :func:`unfold_segment` -- materialize the CQ of a word of recursive
+  rules, exposing its *interface* variables (the monadic goal variable
+  entering and leaving the segment);
+* :func:`find_monadic_witness` -- search for a decomposition
+  ``x · y · zu`` of expansion words whose middle segment ``y`` is
+  pumpable (its interface endpoints are distinct variables and pumping
+  it yields expansions not subsumed by shorter ones -- the
+  ``notaccept`` prefix condition of the CGKV characterization,
+  checked by homomorphism tests on small pump counts);
+* :func:`monadic_reduction_instance` -- glue canonical databases of
+  ``C_x``, per-edge copies of ``C_y``, and ``C_zu`` along a layered
+  graph, returning the database, the query fact and the circuit wire
+  map;
+* :func:`transfer_monadic_circuit_to_tc` -- the usual size/depth-
+  preserving input rewiring.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..circuits.circuit import Circuit
+from ..datalog.ast import Atom, Constant, DatalogError, Fact, Program, Variable
+from ..datalog.database import Database
+from ..datalog.expansions import ConjunctiveQuery, expansion_of_word, expansion_words, unify_atoms
+from ..boundedness.homomorphism import has_homomorphism
+from .transfer import rewire_circuit
+
+__all__ = [
+    "MonadicSegment",
+    "MonadicWitness",
+    "unfold_segment",
+    "find_monadic_witness",
+    "monadic_reduction_instance",
+    "transfer_monadic_circuit_to_tc",
+]
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+@dataclass(frozen=True)
+class MonadicSegment:
+    """A partially unfolded expansion: EDB atoms plus interface vars.
+
+    ``entry`` is the monadic head/goal variable at the top of the
+    segment; ``exit`` the pending goal variable below it (``None``
+    when the segment is closed by an initialization rule).
+    """
+
+    atoms: Tuple[Atom, ...]
+    entry: Variable
+    exit: Optional[Variable]
+    goal_predicate: Optional[str]
+
+
+def _resolve(term, theta):
+    while isinstance(term, Variable) and term in theta:
+        term = theta[term]
+    return term
+
+
+def unfold_segment(
+    program: Program,
+    word: Tuple[int, ...],
+    start_predicate: Optional[str] = None,
+    fresh_prefix: str = "seg",
+) -> MonadicSegment:
+    """Unfold the rule-index *word* from goal ``P(V₀)``.
+
+    Non-final positions must be recursive (monadic linear) rules; a
+    final initialization rule closes the segment.
+    """
+    if not (program.is_monadic() and program.is_linear()):
+        raise DatalogError("segment unfolding requires a monadic linear program")
+    idbs = program.idb_predicates
+    predicate = start_predicate or program.target
+    entry = Variable(f"{fresh_prefix}_V0")
+    goal: Optional[Atom] = Atom(predicate, (entry,))
+    atoms: List[Atom] = []
+    theta: Dict[Variable, object] = {}
+    for step, rule_index in enumerate(word):
+        if goal is None:
+            raise DatalogError("segment continues past an initialization rule")
+        rule = program.rules[rule_index].rename(f"_{fresh_prefix}{step}")
+        unifier = unify_atoms(rule.head, goal, theta)
+        if unifier is None:
+            raise DatalogError(
+                f"rule {rule_index} head does not unify with goal {goal}"
+            )
+        theta = unifier
+        idb_subgoals = [a for a in rule.body if a.predicate in idbs]
+        atoms.extend(a for a in rule.body if a.predicate not in idbs)
+        if idb_subgoals:
+            if len(idb_subgoals) != 1:
+                raise DatalogError("monadic linear rule with several IDB atoms")
+            goal = idb_subgoals[0]
+        else:
+            goal = None
+
+    def fully(atom: Atom) -> Atom:
+        return Atom(atom.predicate, tuple(_resolve(t, theta) for t in atom.terms))
+
+    resolved_atoms = tuple(fully(a) for a in atoms)
+    resolved_entry = _resolve(entry, theta)
+    if not isinstance(resolved_entry, Variable):
+        raise DatalogError("segment entry variable collapsed to a constant")
+    if goal is None:
+        return MonadicSegment(resolved_atoms, resolved_entry, None, None)
+    resolved_goal = fully(goal)
+    exit_term = resolved_goal.terms[0]
+    if not isinstance(exit_term, Variable):
+        raise DatalogError("segment exit variable collapsed to a constant")
+    return MonadicSegment(resolved_atoms, resolved_entry, exit_term, resolved_goal.predicate)
+
+
+@dataclass(frozen=True)
+class MonadicWitness:
+    """A decomposition ``x · y · zu`` of expansion words (rule indices)."""
+
+    x_word: Tuple[int, ...]
+    y_word: Tuple[int, ...]
+    zu_word: Tuple[int, ...]
+
+    def pumped_word(self, i: int) -> Tuple[int, ...]:
+        return self.x_word + self.y_word * i + self.zu_word
+
+
+def find_monadic_witness(
+    program: Program,
+    max_prefix: int = 2,
+    max_pump: int = 2,
+    pump_checks: Tuple[int, ...] = (1, 2, 3),
+) -> Optional[MonadicWitness]:
+    """Search for a pumpable decomposition witnessing unboundedness.
+
+    Conditions checked (the operational core of Theorem 6.6/6.8):
+
+    1. the words ``x yⁱ zu`` are valid expansions for each probed i;
+    2. the ``y`` segment's interface variables are distinct (so its
+       canonical database really connects two endpoints);
+    3. pumping escapes subsumption: the expansion of ``x yⁱ⁺¹ zu`` has
+       no homomorphism from any expansion with fewer recursive steps
+       (for the probed ``i``) -- the finite check of the
+       ``notaccept``-prefix condition.
+    """
+    if not (program.is_monadic() and program.is_linear() and program.is_connected()):
+        return None
+    idbs = program.idb_predicates
+    recursive = [i for i, r in enumerate(program.rules) if not r.is_initialization(idbs)]
+    # All expansions with ≤ K steps, for subsumption checks.
+    probe_depth = max_prefix + max_pump * (max(pump_checks) + 1) + 1
+    expansion_pool: Dict[int, List[ConjunctiveQuery]] = {}
+    for steps in range(probe_depth + 1):
+        expansion_pool[steps] = [
+            expansion_of_word(program, w) for w in expansion_words(program, steps)
+        ]
+
+    def subsumed_by_shorter(cq: ConjunctiveQuery, steps: int) -> bool:
+        for fewer in range(steps):
+            for early in expansion_pool.get(fewer, ()):
+                if has_homomorphism(early, cq):
+                    return True
+        return False
+
+    for x_len in range(max_prefix + 1):
+        for y_len in range(1, max_pump + 1):
+            for x_word in _words_of_length(program, program.target, x_len):
+                x_segment = (
+                    unfold_segment(program, x_word) if x_word else None
+                )
+                after_x = x_segment.goal_predicate if x_segment else program.target
+                if after_x is None:
+                    continue
+                for y_word in _words_of_length(program, after_x, y_len, recursive_only=True):
+                    y_segment = unfold_segment(program, y_word, after_x)
+                    if y_segment.exit is None or y_segment.entry == y_segment.exit:
+                        continue
+                    if y_segment.goal_predicate != after_x:
+                        continue  # y must be pumpable in place
+                    # Closing word: shortest expansion suffix.
+                    zu_word = _closing_word(program, after_x, probe_depth)
+                    if zu_word is None:
+                        continue
+                    witness = MonadicWitness(tuple(x_word), tuple(y_word), tuple(zu_word))
+                    ok = True
+                    for i in pump_checks:
+                        word = witness.pumped_word(i)
+                        steps = len(word) - 1  # last index is the init rule
+                        try:
+                            cq = expansion_of_word(program, word)
+                        except DatalogError:
+                            ok = False
+                            break
+                        if subsumed_by_shorter(cq, steps):
+                            ok = False
+                            break
+                    if ok:
+                        return witness
+    return None
+
+
+def _words_of_length(
+    program: Program, predicate: str, length: int, recursive_only: bool = True
+) -> Iterable[Tuple[int, ...]]:
+    idbs = program.idb_predicates
+    if length == 0:
+        yield ()
+        return
+    candidates = [
+        (i, r)
+        for i, r in enumerate(program.rules)
+        if (not recursive_only or not r.is_initialization(idbs))
+    ]
+
+    def walk(pred: str, remaining: int) -> Iterable[Tuple[int, ...]]:
+        if remaining == 0:
+            yield ()
+            return
+        for index, rule in candidates:
+            if rule.head.predicate != pred or rule.is_initialization(idbs):
+                continue
+            subgoal = rule.idb_atoms(idbs)[0]
+            for rest in walk(subgoal.predicate, remaining - 1):
+                yield (index, *rest)
+
+    yield from walk(predicate, length)
+
+
+def _closing_word(program: Program, predicate: str, cap: int) -> Optional[Tuple[int, ...]]:
+    """Shortest word from *predicate* down to an initialization rule."""
+    idbs = program.idb_predicates
+    frontier: List[Tuple[str, Tuple[int, ...]]] = [(predicate, ())]
+    seen = {predicate}
+    while frontier:
+        pred, word = frontier.pop(0)
+        if len(word) > cap:
+            return None
+        for index, rule in enumerate(program.rules):
+            if rule.head.predicate != pred:
+                continue
+            if rule.is_initialization(idbs):
+                return word + (index,)
+            subgoal = rule.idb_atoms(idbs)[0].predicate
+            if subgoal not in seen:
+                seen.add(subgoal)
+                frontier.append((subgoal, word + (index,)))
+    return None
+
+
+@dataclass
+class MonadicReductionInstance:
+    """Constructed input database, query fact and circuit wire map."""
+
+    database: Database
+    query: Fact
+    witness: MonadicWitness
+    wire_map: Dict[Fact, Optional[Fact]] = field(default_factory=dict)
+
+
+def monadic_reduction_instance(
+    program: Program,
+    witness: MonadicWitness,
+    edges: Iterable[Edge],
+    source: Vertex,
+    sink: Vertex,
+    edge_predicate: str = "E",
+) -> MonadicReductionInstance:
+    """Glue canonical databases along the graph (Theorem 6.8's step).
+
+    * one copy of ``C_x`` from a fresh query constant onto *source*;
+    * one copy of ``C_y`` per graph edge ``(a, b)``, its interface
+      identified with ``a`` and ``b`` (all other constants fresh);
+    * one copy of ``C_zu`` hanging off *sink*.
+
+    The query fact ``target(q)`` is derivable over ``B`` iff *sink* is
+    reachable from *source*.  The wire map tags, per edge copy, the
+    first atom's fact with the TC edge variable; everything else reads
+    ``1``.
+    """
+    database = Database()
+    wire_map: Dict[Fact, Optional[Fact]] = {}
+    counter = itertools.count()
+
+    def instantiate(
+        segment: MonadicSegment,
+        entry_value: Hashable,
+        exit_value: Optional[Hashable],
+        origin: Optional[Fact],
+    ) -> None:
+        copy_id = next(counter)
+        mapping: Dict[Variable, Hashable] = {segment.entry: entry_value}
+        if segment.exit is not None and exit_value is not None:
+            mapping[segment.exit] = exit_value
+        for position, atom in enumerate(segment.atoms):
+            args = []
+            for term in atom.terms:
+                if isinstance(term, Constant):
+                    args.append(term.value)
+                else:
+                    if term not in mapping:
+                        mapping[term] = f"#f{copy_id}_{term.name}"
+                    args.append(mapping[term])
+            fact = database.add(atom.predicate, *args)
+            wire_map.setdefault(fact, origin if position == 0 else None)
+
+    # C_x: query constant → source.
+    if witness.x_word:
+        x_segment = unfold_segment(program, witness.x_word, fresh_prefix="x")
+        query_value: Hashable = "#query"
+        instantiate(x_segment, query_value, source, None)
+        middle_predicate = x_segment.goal_predicate
+    else:
+        query_value = source
+        middle_predicate = program.target
+
+    # C_y per edge.
+    y_segment = unfold_segment(program, witness.y_word, middle_predicate, fresh_prefix="y")
+    for a, b in edges:
+        origin = Fact(edge_predicate, (a, b))
+        instantiate(y_segment, a, b, origin)
+
+    # C_zu at the sink.
+    zu_segment = unfold_segment(program, witness.zu_word, middle_predicate, fresh_prefix="z")
+    instantiate(zu_segment, sink, None, None)
+
+    query = Fact(program.target, (query_value,))
+    return MonadicReductionInstance(database, query, witness, wire_map)
+
+
+def transfer_monadic_circuit_to_tc(
+    instance: MonadicReductionInstance, circuit: Circuit
+) -> Circuit:
+    """Rewire a provenance circuit for the constructed instance into a
+    TC circuit (size- and depth-preserving)."""
+    return rewire_circuit(circuit, instance.wire_map)

@@ -1,0 +1,134 @@
+"""TC → unbounded chain Datalog reduction (Theorem 5.11).
+
+For an *infinite* CFG ``L``, the CFG pumping lemma yields ``u v w x y``
+with ``|vx| ≥ 1`` and ``u vⁱ w xⁱ y ∈ L`` for all ``i``.  A layered TC
+instance in which every ``s–t`` path has exactly ``ℓ`` edges becomes a
+CFL-reachability instance:
+
+1. a fresh prefix path spelling ``u`` into ``s``;
+2. every graph edge expands into a fresh path spelling ``v``;
+3. a fresh suffix path spelling ``w·xˡ·y`` out of ``t``.
+
+An ``s–t`` path then spells ``u vˡ w xˡ y ∈ L``, so the constructed
+fact holds iff ``T(s, t)`` does; conversely, layering forces every
+``s₀ → t_end`` walk through exactly ``ℓ`` expanded edges, so no other
+label word can arise.  (This is precisely why the lower-bound input
+family of Theorem 3.4 is layered.)
+
+The construction needs ``|v| ≥ 1``; the pumping extractor guarantees
+``|vx| ≥ 1`` and the paper argues ``|v| ≥ 1`` w.l.o.g. (when ``v = ε``
+and ``w = x = ε`` the grammar degenerates to the regular case of
+Theorem 5.9; when only ``v = ε``, mirror the graph).  We surface the
+rare mirror case as an error rather than silently mis-reducing.
+
+The transfer step is the same wire rewiring as Theorem 5.9: first edge
+of each ``v``-expansion reads the original edge variable, all padding
+reads ``1``; size and depth are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..circuits.circuit import Circuit
+from ..datalog.ast import Fact
+from ..grammars.cfg import CFG, PumpingDecomposition, pumping_decomposition
+from .transfer import rewire_circuit
+
+__all__ = ["TCToCFGInstance", "tc_to_cfg_instance", "transfer_cfg_circuit_to_tc"]
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+LabeledEdge = Tuple[Vertex, str, Vertex]
+
+
+@dataclass
+class TCToCFGInstance:
+    """The constructed CFL-reachability instance plus the wire map."""
+
+    labeled_edges: List[LabeledEdge]
+    source: Vertex
+    sink: Vertex
+    decomposition: PumpingDecomposition
+    wire_map: Dict[Fact, Optional[Fact]] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.labeled_edges)
+
+
+def tc_to_cfg_instance(
+    edges: Iterable[Edge],
+    source: Vertex,
+    sink: Vertex,
+    grammar: CFG,
+    path_length: int,
+    edge_predicate: str = "E",
+) -> TCToCFGInstance:
+    """Build the Theorem 5.11 instance.
+
+    *path_length* is the exact number of edges on every ``source →
+    sink`` path of the layered input graph.  *grammar* must be
+    infinite (raises ``ValueError`` otherwise).
+    """
+    decomposition = pumping_decomposition(grammar)
+    if decomposition is None:
+        raise ValueError("the CFG is finite; Theorem 5.11 needs an unbounded program")
+    u, v, w, x, y = (
+        decomposition.u,
+        decomposition.v,
+        decomposition.w,
+        decomposition.x,
+        decomposition.y,
+    )
+    if not v:
+        raise ValueError(
+            "pumping context has v = ε (pumps only on the right); mirror the "
+            "input graph and reverse the grammar to apply the reduction"
+        )
+    if path_length < 1:
+        raise ValueError("path_length must be ≥ 1")
+
+    labeled: List[LabeledEdge] = []
+    wire_map: Dict[Fact, Optional[Fact]] = {}
+
+    def emit(a: Vertex, label: str, b: Vertex, origin: Optional[Fact]) -> None:
+        labeled.append((a, str(label), b))
+        wire_map[Fact(str(label), (a, b))] = origin
+
+    # 1. Prefix spelling u.
+    previous: Vertex = ("#pre", 0)
+    start_vertex: Vertex = previous if u else source
+    for i, symbol in enumerate(u):
+        nxt: Vertex = source if i == len(u) - 1 else ("#pre", i + 1)
+        emit(previous, symbol, nxt, None)
+        previous = nxt
+
+    # 2. Each edge expands to a path spelling v (first edge tagged).
+    for a, b in edges:
+        origin = Fact(edge_predicate, (a, b))
+        current = a
+        for i, symbol in enumerate(v):
+            nxt = b if i == len(v) - 1 else ("#mid", a, b, i + 1)
+            emit(current, symbol, nxt, origin if i == 0 else None)
+            current = nxt
+
+    # 3. Suffix spelling w · x^path_length · y.
+    suffix_word = w + x * path_length + y
+    current = sink
+    for i, symbol in enumerate(suffix_word):
+        nxt = ("#suf", i + 1)
+        emit(current, symbol, nxt, None)
+        current = nxt
+    end_vertex = current
+
+    return TCToCFGInstance(labeled, start_vertex, end_vertex, decomposition, wire_map)
+
+
+def transfer_cfg_circuit_to_tc(
+    instance: TCToCFGInstance, cfg_circuit: Circuit
+) -> Circuit:
+    """Rewire a CFL-reachability circuit for *instance* into a TC
+    circuit (size- and depth-preserving)."""
+    return rewire_circuit(cfg_circuit, instance.wire_map)

@@ -1,0 +1,125 @@
+"""TC → infinite RPQ reduction (Theorem 5.9, first direction).
+
+Given an infinite regular language ``L``, the pumping lemma yields
+``x y z`` with ``|y| ≥ 1`` and ``x yⁱ z ∈ L`` for all ``i``.  A TC
+instance ``(G, s, t)`` becomes an RPQ instance by
+
+1. a fresh path spelling ``x`` into ``s``;
+2. expanding **every** edge of ``G`` into a fresh path spelling ``y``;
+3. a fresh path spelling ``z`` out of ``t``;
+
+so ``s–t`` paths of ``G`` with ``i`` edges become ``x yⁱ z``-labeled
+paths, and the RPQ fact ``(s₀, t_{|z|})`` holds iff ``T(s, t)`` does.
+
+The transfer step rewires an RPQ circuit for the constructed instance
+into a TC circuit: the *first* edge of each ``y``-expansion reads the
+original edge variable ``x_{(u,v)}``, every other fresh edge reads the
+constant ``1``.  Size and depth are preserved, which "pulls back" any
+RPQ upper bound to TC -- the content of Theorem 5.9's hardness half.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..circuits.circuit import Circuit
+from ..datalog.ast import Fact
+from ..grammars.regular import DFA, RegularPumpingWitness, regular_pumping_witness
+from .transfer import rewire_circuit
+
+__all__ = ["TCToRPQInstance", "tc_to_rpq_instance", "transfer_rpq_circuit_to_tc"]
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+LabeledEdge = Tuple[Vertex, str, Vertex]
+
+
+@dataclass
+class TCToRPQInstance:
+    """The constructed RPQ instance plus the circuit wire map.
+
+    ``wire_map`` sends each labeled-edge fact of the instance to the
+    original TC edge fact it represents, or ``None`` for the padding
+    edges that must read ``1``.
+    """
+
+    labeled_edges: List[LabeledEdge]
+    source: Vertex
+    sink: Vertex
+    witness: RegularPumpingWitness
+    wire_map: Dict[Fact, Optional[Fact]] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.labeled_edges)
+
+
+def tc_to_rpq_instance(
+    edges: Iterable[Edge],
+    source: Vertex,
+    sink: Vertex,
+    dfa: DFA,
+    edge_predicate: str = "E",
+) -> TCToRPQInstance:
+    """Build the Theorem 5.9 instance for TC input ``(edges, s, t)``.
+
+    *dfa* must recognize an infinite language (its pumping witness
+    drives the construction).  Fresh vertices are tuples tagged with
+    ``"#pre"``/``"#mid"``/``"#suf"`` so they never collide with graph
+    vertices.
+    """
+    witness = regular_pumping_witness(dfa)
+    if witness is None:
+        raise ValueError("the RPQ language is finite; Theorem 5.9 needs an infinite one")
+    x, y, z = witness.x, witness.y, witness.z
+
+    labeled: List[LabeledEdge] = []
+    wire_map: Dict[Fact, Optional[Fact]] = {}
+
+    def emit(u: Vertex, label: str, v: Vertex, origin: Optional[Fact]) -> None:
+        labeled.append((u, str(label), v))
+        fact = Fact(str(label), (u, v))
+        # Parallel edges with equal labels collapse to one fact; the
+        # construction never creates them with conflicting origins.
+        wire_map[fact] = origin
+
+    # 1. Prefix path spelling x, ending at the original source.
+    previous: Vertex = ("#pre", 0)
+    start_vertex: Vertex = previous if x else source
+    for i, symbol in enumerate(x):
+        nxt: Vertex = source if i == len(x) - 1 else ("#pre", i + 1)
+        emit(previous, symbol, nxt, None)
+        previous = nxt
+
+    # 2. Each original edge becomes a path spelling y; the first edge
+    #    carries the original provenance variable.
+    for u, v in edges:
+        origin = Fact(edge_predicate, (u, v))
+        current = u
+        for i, symbol in enumerate(y):
+            nxt = v if i == len(y) - 1 else ("#mid", u, v, i + 1)
+            emit(current, symbol, nxt, origin if i == 0 else None)
+            current = nxt
+
+    # 3. Suffix path spelling z, starting at the original sink.
+    current = sink
+    for i, symbol in enumerate(z):
+        nxt = ("#suf", i + 1)
+        emit(current, symbol, nxt, None)
+        current = nxt
+    end_vertex = current
+
+    return TCToRPQInstance(labeled, start_vertex, end_vertex, witness, wire_map)
+
+
+def transfer_rpq_circuit_to_tc(
+    instance: TCToRPQInstance, rpq_circuit: Circuit
+) -> Circuit:
+    """Rewire an RPQ circuit for *instance* into a TC circuit.
+
+    Depth is preserved exactly; every padding input becomes the
+    constant ``1`` (which is why, as the paper remarks, this is a
+    circuit reduction but **not** a formula reduction: the constant is
+    reused Θ(m) times)."""
+    return rewire_circuit(rpq_circuit, instance.wire_map)

@@ -1,0 +1,61 @@
+"""Circuit input rewiring: the transfer step of the reductions.
+
+Every lower-bound reduction in the paper (Theorems 5.9, 5.11, 6.8)
+ends the same way: take a circuit for the *constructed* instance and
+turn it into a circuit for the *original* problem by reconnecting each
+input gate either to an original input variable or to the constant
+``1 ∈ S``, keeping all internal gates and wires intact.  This
+preserves size and depth exactly -- which is what makes the instance-
+level reductions depth-preserving circuit reductions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional
+
+from ..circuits.circuit import Circuit, CircuitBuilder
+
+__all__ = ["rewire_circuit"]
+
+
+def rewire_circuit(
+    circuit: Circuit,
+    wire_map: Mapping[Hashable, Optional[Hashable]],
+    strict: bool = True,
+) -> Circuit:
+    """Rewire the inputs of *circuit* through *wire_map*.
+
+    ``wire_map[label]`` is either a new variable label (the original
+    problem's input this gate should read) or ``None`` for the
+    constant ``1``.  With ``strict=True`` every input label must be
+    mapped; otherwise unmapped labels pass through unchanged.
+
+    The internal gate structure is copied verbatim (no sharing beyond
+    the input layer is introduced or removed), so size changes only by
+    the collapsed input gates and depth never increases.
+    """
+    builder = CircuitBuilder(share=False)
+    one_node: Optional[int] = None
+    fresh_vars: Dict[Hashable, int] = {}
+
+    def one() -> int:
+        nonlocal one_node
+        if one_node is None:
+            one_node = builder.const1()
+        return one_node
+
+    input_map: Dict[Hashable, int] = {}
+    for label in circuit.variables():
+        if label in wire_map:
+            replacement = wire_map[label]
+            if replacement is None:
+                input_map[label] = one()
+            else:
+                if replacement not in fresh_vars:
+                    fresh_vars[replacement] = builder.var(replacement)
+                input_map[label] = fresh_vars[replacement]
+        elif strict:
+            raise KeyError(f"input label {label!r} missing from wire map")
+    remap = builder.splice(circuit, input_map)
+    outputs = [remap[out] for out in circuit.outputs]
+    return builder.build(outputs)

@@ -1,0 +1,125 @@
+"""Semiring homomorphisms.
+
+A homomorphism ``h : S → R`` respects ``⊕``, ``⊗`` and maps ``0 ↦ 0``,
+``1 ↦ 1``.  Homomorphisms are the engine behind two results we use
+throughout:
+
+* Proposition 3.6 ("transfer"): a positive semiring ``S`` admits the
+  support homomorphism ``S → B`` (:func:`positivity_homomorphism`), so
+  circuit upper bounds over ``S`` transfer down to ``B`` and Boolean
+  lower bounds transfer up to ``S``.
+* Initiality of ``Sorp(X)``: an assignment ``X → S`` into an
+  absorptive ``S`` extends to ``Sorp(X) → S``
+  (:func:`evaluation_homomorphism`), which is how a canonical
+  polynomial certifies a circuit over *every* absorptive semiring.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from .base import Semiring
+from .numeric import BOOLEAN
+from .polynomial import FormalPolynomial, Polynomial, SorpSemiring
+
+__all__ = [
+    "SemiringHomomorphism",
+    "positivity_homomorphism",
+    "evaluation_homomorphism",
+    "formal_evaluation_homomorphism",
+    "boolean_embedding",
+]
+
+
+@dataclass(frozen=True)
+class SemiringHomomorphism:
+    """A function between semirings claimed to be a homomorphism.
+
+    :meth:`verify` checks the homomorphism laws on samples; a failure
+    is a definite refutation.
+    """
+
+    source: Semiring
+    target: Semiring
+    mapping: Callable[[object], object]
+    name: str = "hom"
+
+    def __call__(self, value):
+        return self.mapping(value)
+
+    def verify(self, samples: Sequence) -> list[str]:
+        """Return the list of violated identities on *samples* (empty = ok)."""
+        failures: list[str] = []
+        src, dst, h = self.source, self.target, self.mapping
+        if not dst.eq(h(src.zero), dst.zero):
+            failures.append("h(0) ≠ 0")
+        if not dst.eq(h(src.one), dst.one):
+            failures.append("h(1) ≠ 1")
+        for a, b in itertools.product(samples, repeat=2):
+            if not dst.eq(h(src.add(a, b)), dst.add(h(a), h(b))):
+                failures.append(f"h({a!r} ⊕ {b!r}) ≠ h({a!r}) ⊕ h({b!r})")
+            if not dst.eq(h(src.mul(a, b)), dst.mul(h(a), h(b))):
+                failures.append(f"h({a!r} ⊗ {b!r}) ≠ h({a!r}) ⊗ h({b!r})")
+        return failures
+
+
+def positivity_homomorphism(semiring: Semiring) -> SemiringHomomorphism:
+    """The support map ``h : S → B`` with ``h(x) = (x ≠ 0)``.
+
+    This is a homomorphism exactly when ``S`` is positive; it is the
+    mechanism of Proposition 3.6 for transferring bounds between ``S``
+    and the Boolean semiring.
+    """
+    return SemiringHomomorphism(
+        source=semiring,
+        target=BOOLEAN,
+        mapping=lambda value: not semiring.is_zero(value),
+        name=f"support:{semiring.name}→boolean",
+    )
+
+
+def evaluation_homomorphism(
+    sorp: SorpSemiring, target: Semiring, assignment: Mapping
+) -> SemiringHomomorphism:
+    """The unique extension of ``assignment : X → S`` to ``Sorp(X) → S``.
+
+    Well-defined (respects absorption) only when *target* is
+    absorptive; a non-absorptive target raises ``ValueError``.
+    """
+    if not target.absorptive:
+        raise ValueError(
+            f"Sorp(X) evaluation into non-absorptive {target.name} is unsound: "
+            "absorption identities need not hold there"
+        )
+
+    def mapping(poly: Polynomial):
+        return poly.evaluate(target, assignment)
+
+    return SemiringHomomorphism(
+        source=sorp, target=target, mapping=mapping, name=f"eval:sorp→{target.name}"
+    )
+
+
+def formal_evaluation_homomorphism(
+    source: Semiring, target: Semiring, assignment: Mapping
+) -> SemiringHomomorphism:
+    """Extension of ``X → S`` to ``ℕ[X] → S`` (any commutative semiring)."""
+
+    def mapping(poly: FormalPolynomial):
+        return poly.evaluate(target, assignment)
+
+    return SemiringHomomorphism(
+        source=source, target=target, mapping=mapping, name=f"eval:ℕ[X]→{target.name}"
+    )
+
+
+def boolean_embedding(target: Semiring) -> SemiringHomomorphism:
+    """The unique homomorphism ``B → S`` (False ↦ 0, True ↦ 1)."""
+    return SemiringHomomorphism(
+        source=BOOLEAN,
+        target=target,
+        mapping=target.from_bool,
+        name=f"embed:boolean→{target.name}",
+    )

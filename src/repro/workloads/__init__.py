@@ -1,0 +1,35 @@
+"""Workload generators (graphs and labeled graphs) for the benches."""
+
+from .graphs import (
+    LayeredGraph,
+    complete_dag,
+    cycle_graph,
+    grid_digraph,
+    layered_graph,
+    path_graph,
+    random_digraph,
+    random_weights,
+)
+from .labeled import (
+    dyck_concatenated_path,
+    dyck_nested_path,
+    random_bracket_graph,
+    random_labeled_digraph,
+    word_path,
+)
+
+__all__ = [
+    "LayeredGraph",
+    "path_graph",
+    "cycle_graph",
+    "layered_graph",
+    "random_digraph",
+    "grid_digraph",
+    "complete_dag",
+    "random_weights",
+    "word_path",
+    "random_labeled_digraph",
+    "dyck_nested_path",
+    "dyck_concatenated_path",
+    "random_bracket_graph",
+]

@@ -1,0 +1,188 @@
+"""Graph workload generators for the benchmark harness.
+
+Families used across the paper's constructions and lower bounds:
+
+* paths / cycles -- the boundedness probes of Proposition 5.5;
+* ``(ℓ, n)``-layered graphs -- the lower-bound inputs of Theorem 3.4
+  (source below the bottom layer, sink above the top layer);
+* random digraphs -- the TC upper-bound benchmarks (Thms 5.6/5.7);
+* grids and complete DAGs -- dense/structured controls.
+
+Every generator returns a :class:`~repro.datalog.database.Database`
+(plus metadata where needed) and accepts a seed for reproducibility.
+Weight helpers annotate edges for tropical/Viterbi evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from ..datalog.ast import Fact
+from ..datalog.database import Database
+
+__all__ = [
+    "LayeredGraph",
+    "path_graph",
+    "cycle_graph",
+    "layered_graph",
+    "random_digraph",
+    "grid_digraph",
+    "complete_dag",
+    "random_weights",
+]
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+@dataclass
+class LayeredGraph:
+    """An ``(ℓ, n)``-layered digraph with distinguished ``s`` and ``t``.
+
+    Edges run only between consecutive layers; ``s`` connects to the
+    first layer and the last layer connects to ``t``, so every
+    ``s → t`` path has exactly ``num_layers + 1`` edges -- the
+    property the Theorem 5.11/6.8 reductions rely on.
+    """
+
+    layers: List[List[Vertex]]
+    edges: List[Edge]
+    source: Vertex
+    sink: Vertex
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def path_length(self) -> int:
+        return self.num_layers + 1
+
+    def database(self, edge: str = "E") -> Database:
+        return Database.from_edges(self.edges, predicate=edge)
+
+    @property
+    def num_vertices(self) -> int:
+        return 2 + sum(len(layer) for layer in self.layers)
+
+
+def path_graph(length: int, edge: str = "E") -> Database:
+    """A directed path ``0 → 1 → ... → length``."""
+    return Database.from_edges([(i, i + 1) for i in range(length)], predicate=edge)
+
+
+def cycle_graph(length: int, edge: str = "E") -> Database:
+    """A directed cycle on ``length`` vertices."""
+    if length < 1:
+        raise ValueError("cycle length must be ≥ 1")
+    return Database.from_edges(
+        [(i, (i + 1) % length) for i in range(length)], predicate=edge
+    )
+
+
+def layered_graph(
+    width: int,
+    num_layers: int,
+    edge_probability: float = 0.6,
+    seed: int = 0,
+) -> LayeredGraph:
+    """Random ``(width, num_layers)``-layered graph.
+
+    Each consecutive-layer edge appears independently with
+    *edge_probability*; every layer keeps at least one outgoing edge
+    so that ``t`` stays reachable (the lower-bound instances are
+    interesting only when connectivity is possible).
+    """
+    rng = random.Random(seed)
+    layers: List[List[Vertex]] = [
+        [("L", depth, i) for i in range(width)] for depth in range(num_layers)
+    ]
+    source: Vertex = "s"
+    sink: Vertex = "t"
+    edges: List[Edge] = []
+    for v in layers[0]:
+        edges.append((source, v))
+    for depth in range(num_layers - 1):
+        for u in layers[depth]:
+            outgoing = [
+                (u, v) for v in layers[depth + 1] if rng.random() < edge_probability
+            ]
+            if not outgoing:
+                outgoing = [(u, rng.choice(layers[depth + 1]))]
+            edges.extend(outgoing)
+    for v in layers[-1]:
+        edges.append((v, sink))
+    return LayeredGraph(layers, edges, source, sink)
+
+
+def random_digraph(
+    num_vertices: int,
+    num_edges: int,
+    seed: int = 0,
+    ensure_st_path: bool = True,
+) -> Database:
+    """A random simple digraph on ``0..n-1`` with ``m`` edges.
+
+    With *ensure_st_path*, a Hamiltonian-ish backbone ``0 → 1 → ... →
+    n-1`` is included first so the benchmark fact ``T(0, n-1)`` is
+    derivable; remaining edges are sampled without replacement.
+    """
+    if num_vertices < 2:
+        raise ValueError("need at least two vertices")
+    rng = random.Random(seed)
+    edges: List[Edge] = []
+    seen: set = set()
+    if ensure_st_path:
+        for i in range(num_vertices - 1):
+            edges.append((i, i + 1))
+            seen.add((i, i + 1))
+    budget = max(num_edges - len(edges), 0)
+    attempts = 0
+    while budget > 0 and attempts < 50 * num_edges + 100:
+        attempts += 1
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u == v or (u, v) in seen:
+            continue
+        seen.add((u, v))
+        edges.append((u, v))
+        budget -= 1
+    return Database.from_edges(edges)
+
+
+def grid_digraph(rows: int, cols: int) -> Database:
+    """A directed grid (right and down edges); ``(0,0)`` to corners."""
+    edges: List[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append(((r, c), (r, c + 1)))
+            if r + 1 < rows:
+                edges.append(((r, c), (r + 1, c)))
+    return Database.from_edges(edges)
+
+
+def complete_dag(num_vertices: int) -> Database:
+    """All forward edges ``i → j`` for ``i < j`` (dense DAG control)."""
+    edges = [
+        (i, j) for i in range(num_vertices) for j in range(i + 1, num_vertices)
+    ]
+    return Database.from_edges(edges)
+
+
+def random_weights(
+    database: Database,
+    seed: int = 0,
+    low: float = 1.0,
+    high: float = 9.0,
+    integral: bool = True,
+) -> Dict[Fact, float]:
+    """Random edge weights for tropical/Viterbi evaluation."""
+    rng = random.Random(seed)
+    weights: Dict[Fact, float] = {}
+    for fact in database.facts():
+        value = rng.uniform(low, high)
+        weights[fact] = float(int(value)) if integral else value
+    return weights

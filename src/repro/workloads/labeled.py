@@ -1,0 +1,99 @@
+"""Labeled-graph workloads for RPQ / CFL-reachability benchmarks.
+
+* word paths -- a path spelling a given word (the Proposition 5.5
+  unboundedness family);
+* random labeled digraphs over an alphabet;
+* Dyck workloads -- nested and concatenated bracket paths plus random
+  bracket graphs for the Example 6.4 / Table-1 CFG row.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Sequence, Tuple
+
+__all__ = [
+    "word_path",
+    "random_labeled_digraph",
+    "dyck_nested_path",
+    "dyck_concatenated_path",
+    "random_bracket_graph",
+]
+
+Vertex = Hashable
+LabeledEdge = Tuple[Vertex, str, Vertex]
+
+
+def word_path(word: Sequence[str], start: int = 0) -> List[LabeledEdge]:
+    """A path of ``len(word)`` edges spelling *word*."""
+    return [(start + i, str(symbol), start + i + 1) for i, symbol in enumerate(word)]
+
+
+def random_labeled_digraph(
+    num_vertices: int,
+    num_edges: int,
+    alphabet: Sequence[str],
+    seed: int = 0,
+    backbone_word: Sequence[str] | None = None,
+) -> List[LabeledEdge]:
+    """Random labeled digraph; an optional backbone path spells
+    *backbone_word* through vertices ``0..len(word)`` so a designated
+    RPQ fact is guaranteed to hold."""
+    rng = random.Random(seed)
+    edges: List[LabeledEdge] = []
+    seen: set = set()
+    if backbone_word:
+        for i, symbol in enumerate(backbone_word):
+            edge = (i, str(symbol), i + 1)
+            edges.append(edge)
+            seen.add(edge)
+    attempts = 0
+    while len(edges) < num_edges and attempts < 50 * num_edges + 100:
+        attempts += 1
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        label = rng.choice(list(alphabet))
+        edge = (u, str(label), v)
+        if u == v or edge in seen:
+            continue
+        seen.add(edge)
+        edges.append(edge)
+    return edges
+
+
+def dyck_nested_path(depth: int, open_label: str = "L", close_label: str = "R") -> List[LabeledEdge]:
+    """A path spelling ``Lᵈ Rᵈ`` (maximally nested brackets)."""
+    word = [open_label] * depth + [close_label] * depth
+    return word_path(word)
+
+
+def dyck_concatenated_path(
+    pairs: int, open_label: str = "L", close_label: str = "R"
+) -> List[LabeledEdge]:
+    """A path spelling ``(LR)ᵖ`` (maximally concatenated brackets)."""
+    word = [open_label, close_label] * pairs
+    return word_path(word)
+
+
+def random_bracket_graph(
+    num_vertices: int,
+    num_edges: int,
+    seed: int = 0,
+    open_label: str = "L",
+    close_label: str = "R",
+    nesting: int = 2,
+) -> List[LabeledEdge]:
+    """A random bracket-labeled graph with a balanced backbone.
+
+    The backbone spells ``Lⁿ Rⁿ`` with ``n = nesting``; extra random
+    bracket edges create alternative (and spurious, unbalanced) paths
+    that exercise the CFL filter.
+    """
+    backbone = [open_label] * nesting + [close_label] * nesting
+    return random_labeled_digraph(
+        num_vertices,
+        num_edges,
+        alphabet=(open_label, close_label),
+        seed=seed,
+        backbone_word=backbone,
+    )

@@ -1,0 +1,93 @@
+"""Growth fitting: the Table-1 shape checker itself must be trustworthy."""
+
+import math
+
+import pytest
+
+from repro.analysis import SweepReport, best_fit, consistent_with, dominance_ratio
+
+
+def series(fn, ns=(8, 16, 32, 64, 128, 256)):
+    return list(ns), [fn(n) for n in ns]
+
+
+def test_best_fit_linear():
+    ns, ys = series(lambda n: 3 * n + 5)
+    assert best_fit(ns, ys).best == "n"
+
+
+def test_best_fit_quadratic():
+    ns, ys = series(lambda n: 2 * n * n)
+    assert best_fit(ns, ys).best == "n^2"
+
+
+def test_best_fit_nlogn():
+    ns, ys = series(lambda n: n * math.log(n))
+    assert best_fit(ns, ys).best == "n log n"
+
+
+def test_best_fit_log():
+    ns, ys = series(lambda n: 7 * math.log(n) + 2)
+    assert best_fit(ns, ys).best == "log n"
+
+
+def test_best_fit_log_squared():
+    ns, ys = series(lambda n: 3 * math.log(n) ** 2)
+    assert best_fit(ns, ys).best == "log^2 n"
+
+
+def test_best_fit_constant():
+    ns, ys = series(lambda n: 42)
+    assert best_fit(ns, ys).best == "1"
+
+
+def test_best_fit_needs_three_points():
+    with pytest.raises(ValueError):
+        best_fit([1, 2], [1, 2])
+
+
+def test_consistency_accepts_true_bounds():
+    ns, ys = series(lambda n: 5 * n)
+    assert consistent_with(ns, ys, "n")
+    assert consistent_with(ns, ys, "n^2")  # upper bounds are one-sided
+
+
+def test_consistency_rejects_undershooting_claims():
+    ns, ys = series(lambda n: n * n)
+    assert not consistent_with(ns, ys, "n")
+    assert not consistent_with(ns, ys, "log n")
+
+
+def test_consistency_log_vs_logsq():
+    ns, ys = series(lambda n: math.log(n) ** 2, ns=(8, 64, 512, 4096, 2**16, 2**20))
+    assert consistent_with(ns, ys, "log^2 n")
+    assert not consistent_with(ns, ys, "log n")
+
+
+def test_dominance_ratio_flat_for_exact_model():
+    ns, ys = series(lambda n: 3 * n)
+    assert dominance_ratio(ns, ys, "n") == pytest.approx(1.0)
+
+
+def test_sweep_report_renders_and_verdicts():
+    report = SweepReport("demo", claimed_size="n", claimed_depth="log n")
+    for n in (8, 16, 32, 64):
+        report.add(n=n, m=2 * n, size=5 * n, depth=int(3 * math.log2(n)))
+    text = report.render()
+    assert "PASS" in text
+    assert report.size_ok() and report.depth_ok()
+
+
+def test_sweep_report_detects_violations():
+    report = SweepReport("bad", claimed_size="log n", claimed_depth=None)
+    for n in (8, 16, 32, 64, 128):
+        report.add(n=n, m=n, size=n * n, depth=1)
+    assert not report.size_ok()
+    assert "FAIL" in report.render()
+
+
+def test_sweep_report_scale_by_m():
+    report = SweepReport("by-m", claimed_size="n", claimed_depth=None, scale="m")
+    for m in (10, 20, 40, 80):
+        report.add(n=3, m=m, size=6 * m, depth=2)
+    assert report.size_ok()

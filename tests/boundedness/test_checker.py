@@ -1,0 +1,120 @@
+"""Boundedness analysis: exact, certified, and empirical."""
+
+from repro.boundedness import (
+    analyze_boundedness,
+    chain_program_boundedness,
+    empirical_iteration_probe,
+    expansion_boundedness_certificate,
+)
+from repro.datalog import (
+    bounded_example,
+    dyck1,
+    parse_program,
+    reachability,
+    transitive_closure,
+)
+from repro.grammars import rpq_program
+from repro.workloads import path_graph
+
+
+def test_tc_is_unbounded():
+    report = chain_program_boundedness(transitive_closure())
+    assert report.bounded is False
+    assert report.method == "cfg-finiteness"
+
+
+def test_dyck_is_unbounded():
+    assert chain_program_boundedness(dyck1()).bounded is False
+
+
+def test_finite_rpq_program_is_bounded():
+    program, _eps = rpq_program("ab|ac")
+    report = chain_program_boundedness(program)
+    assert report.bounded is True
+    assert report.certificate == 2  # longest word length
+
+
+def test_bounded_example_certificate():
+    report = expansion_boundedness_certificate(bounded_example())
+    assert report.bounded is True
+    assert report.certificate == 2
+
+
+def test_certificate_inconclusive_for_tc():
+    report = expansion_boundedness_certificate(transitive_closure(), max_certificate=3)
+    assert report.bounded is None
+    assert "likely unbounded" in report.details
+
+
+def test_certificate_requires_linear():
+    report = expansion_boundedness_certificate(dyck1())
+    assert report.bounded is None
+
+
+def test_empirical_probe_detects_unboundedness_of_tc():
+    report = empirical_iteration_probe(
+        transitive_closure(), lambda n: path_graph(n), sizes=(4, 8, 12, 16)
+    )
+    assert report.bounded is False
+    assert len(report.evidence) == 4
+
+
+def test_empirical_probe_flat_for_bounded_program():
+    def family(n):
+        db = path_graph(n)
+        db.add("A", 0)
+        return db
+
+    report = empirical_iteration_probe(bounded_example(), family, sizes=(4, 8, 12))
+    assert report.bounded is None  # evidence only
+    iteration_counts = [it for _n, it in report.evidence]
+    assert len(set(iteration_counts)) == 1
+
+
+def test_analyze_dispatch_chain():
+    assert analyze_boundedness(transitive_closure()).method == "cfg-finiteness"
+
+
+def test_analyze_dispatch_linear():
+    report = analyze_boundedness(bounded_example())
+    assert report.method == "expansion-homomorphism"
+    assert report.bounded is True
+
+
+def test_analyze_dispatch_fallback_probe():
+    # A non-linear, non-chain program: falls through to the probe.
+    program = parse_program(
+        """
+        P(X) :- R(X).
+        P(X) :- P(X), P(X), S(X).
+        """
+    )
+
+    def family(n):
+        from repro.datalog import Database
+
+        db = Database()
+        for i in range(n):
+            db.add("R", i)
+            db.add("S", i)
+        return db
+
+    report = analyze_boundedness(program, family, sizes=(3, 6, 9))
+    assert report.method == "iteration-probe"
+
+
+def test_analyze_no_method():
+    program = parse_program(
+        """
+        P(X) :- R(X).
+        P(X) :- P(X), P(X), S(X).
+        """
+    )
+    report = analyze_boundedness(program)
+    assert report.bounded is None
+    assert report.method == "none"
+
+
+def test_report_repr():
+    report = chain_program_boundedness(transitive_closure())
+    assert "UNBOUNDED" in repr(report)

@@ -1,0 +1,112 @@
+"""CQ homomorphisms and Chom containment (Chandra–Merlin, Thm 4.6)."""
+
+from repro.datalog import Atom, ConjunctiveQuery, Constant, Variable, expansions, transitive_closure
+from repro.boundedness import (
+    cq_contained_in,
+    cq_equivalent,
+    find_homomorphism,
+    has_homomorphism,
+    ucq_contained_in,
+)
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+
+
+def path_cq(length: int) -> ConjunctiveQuery:
+    variables = [Variable(f"P{i}") for i in range(length + 1)]
+    atoms = tuple(
+        Atom("E", (variables[i], variables[i + 1])) for i in range(length)
+    )
+    return ConjunctiveQuery(Atom("Q", (variables[0], variables[-1])), atoms)
+
+
+def loop_cq() -> ConjunctiveQuery:
+    return ConjunctiveQuery(Atom("Q", (X, X)), (Atom("E", (X, X)),))
+
+
+def test_identity_homomorphism():
+    cq = path_cq(2)
+    assert has_homomorphism(cq, cq)
+
+
+def test_longer_path_maps_into_loop():
+    # classic: any path CQ maps homomorphically into the self-loop --
+    # but head preservation requires both head vars to collapse, which
+    # the loop's head Q(X, X) allows only if the path head could map to
+    # (X, X): it can (all vertices → X).
+    long = path_cq(3)
+    hom = find_homomorphism(
+        ConjunctiveQuery(Atom("Q", (long.head.terms[0], long.head.terms[1])), long.body),
+        loop_cq(),
+    )
+    assert hom is not None
+
+
+def test_loop_does_not_map_into_path():
+    assert not has_homomorphism(loop_cq(), path_cq(3))
+
+
+def test_containment_direction():
+    # path(3) ⊆ path(2)? Containment q1 ⊆ q2 iff hom q2 → q1.
+    # A 2-path maps into a 3-path only if endpoints align: heads are
+    # (first, last), so no (distance mismatch).  Not contained.
+    assert not cq_contained_in(path_cq(3), path_cq(2))
+    # But every CQ is contained in itself.
+    assert cq_contained_in(path_cq(3), path_cq(3))
+
+
+def test_tc_expansions_are_incomparable():
+    # TC expansions C_i (paths of distinct lengths) admit no homs
+    # between distinct lengths: the reason TC is unbounded.
+    tc = transitive_closure()
+    c1 = expansions(tc, 0)[0]
+    c2 = expansions(tc, 1)[0]
+    assert not has_homomorphism(c1, c2)
+    assert not has_homomorphism(c2, c1)
+
+
+def test_constants_must_match():
+    with_const = ConjunctiveQuery(
+        Atom("Q", (X,)), (Atom("E", (X, Constant(5))),)
+    )
+    generic = ConjunctiveQuery(Atom("Q", (X,)), (Atom("E", (X, Y)),))
+    # generic → with_const: Y ↦ 5 works.
+    assert has_homomorphism(generic, with_const)
+    # with_const → generic: 5 cannot map to a variable.
+    assert not has_homomorphism(with_const, generic)
+
+
+def test_predicate_mismatch():
+    q1 = ConjunctiveQuery(Atom("Q", (X,)), (Atom("E", (X, Y)),))
+    q2 = ConjunctiveQuery(Atom("R", (X,)), (Atom("E", (X, Y)),))
+    assert find_homomorphism(q1, q2) is None
+
+
+def test_head_arity_mismatch():
+    q1 = ConjunctiveQuery(Atom("Q", (X, Y)), (Atom("E", (X, Y)),))
+    q2 = ConjunctiveQuery(Atom("Q", (X,)), (Atom("E", (X, Y)),))
+    assert find_homomorphism(q1, q2) is None
+
+
+def test_cq_equivalence_by_folding():
+    # Q(X) :- E(X,Y), E(X,Z)  ≡  Q(X) :- E(X,Y)  (fold Z onto Y).
+    q1 = ConjunctiveQuery(Atom("Q", (X,)), (Atom("E", (X, Y)), Atom("E", (X, Z))))
+    q2 = ConjunctiveQuery(Atom("Q", (X,)), (Atom("E", (X, Y)),))
+    assert cq_equivalent(q1, q2)
+
+
+def test_ucq_containment():
+    u1 = [path_cq(2)]
+    u2 = [path_cq(2), path_cq(3)]
+    assert ucq_contained_in(u1, u2)
+    assert not ucq_contained_in([path_cq(4)], u2)
+
+
+def test_homomorphism_is_correct_mapping():
+    source = path_cq(2)
+    hom = find_homomorphism(source, path_cq(2))
+    # applying the hom maps every atom of source onto an atom of target
+    target_atoms = set(path_cq(2).body)
+    for atom in source.body:
+        image = atom.substitute({v: t for v, t in hom.items()})
+        assert image in target_atoms

@@ -1,0 +1,71 @@
+"""Proposition 4.8: bounded ⟺ target equivalent to a UCQ."""
+
+import pytest
+
+from repro.boundedness import (
+    equivalent_ucq,
+    expansion_boundedness_certificate,
+    ucq_answers,
+    ucq_matches_program,
+)
+from repro.datalog import Database, DatalogError, bounded_example
+from repro.workloads import path_graph, random_digraph
+
+
+def family():
+    out = []
+    for seed in range(3):
+        db = random_digraph(6, 10, seed=seed)
+        db.add("A", 0)
+        db.add("A", 2)
+        out.append(db)
+    db = path_graph(4)
+    db.add("A", 0)
+    out.append(db)
+    return out
+
+
+def test_equivalent_ucq_shape():
+    program = bounded_example()
+    report = expansion_boundedness_certificate(program)
+    assert report.bounded
+    ucq = equivalent_ucq(program, report.certificate)
+    assert 1 <= len(ucq) <= report.certificate + 1
+    # First disjunct is the initialization CQ E(x, y).
+    predicates = {a.predicate for cq in ucq for a in cq.body}
+    assert predicates <= {"E", "A"}
+
+
+def test_ucq_matches_program_on_family():
+    program = bounded_example()
+    report = expansion_boundedness_certificate(program)
+    assert ucq_matches_program(program, report.certificate, family())
+
+
+def test_undersized_certificate_detected():
+    program = bounded_example()
+    # certificate 1 keeps only the init rule: misses A(x) ∧ E(z, y).
+    assert not ucq_matches_program(program, 1, family())
+
+
+def test_minimization_drops_subsumed_disjuncts():
+    program = bounded_example()
+    full = equivalent_ucq(program, 3, minimize=False)
+    minimized = equivalent_ucq(program, 3, minimize=True)
+    assert len(minimized) < len(full)
+    # both compute the same answers
+    for db in family():
+        assert ucq_answers(full, db) == ucq_answers(minimized, db)
+
+
+def test_certificate_validation():
+    with pytest.raises(DatalogError):
+        equivalent_ucq(bounded_example(), 0)
+
+
+def test_ucq_answers_basic():
+    from repro.datalog import expansions, transitive_closure
+
+    cq = expansions(transitive_closure(), 0)[0]  # T(x,y) :- E(x,y)
+    db = Database.from_edges([(0, 1), (1, 2)])
+    assert ucq_answers([cq], db) == {(0, 1), (1, 2)}

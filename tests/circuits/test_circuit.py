@@ -1,0 +1,165 @@
+"""The array-backed circuit substrate: builder, metrics, invariants."""
+
+import math
+
+import pytest
+
+from repro.circuits import (
+    OP_ADD,
+    OP_MUL,
+    OP_VAR,
+    Circuit,
+    CircuitBuilder,
+    measure,
+)
+
+
+def build_simple():
+    b = CircuitBuilder()
+    x, y, z = b.var("x"), b.var("y"), b.var("z")
+    out = b.add(b.mul(x, y), b.mul(x, z))
+    return b.build(out)
+
+
+def test_size_and_depth():
+    c = build_simple()
+    assert c.size == 6  # 3 vars + 2 muls + 1 add
+    assert c.depth == 2
+
+
+def test_hash_consing_shares_identical_gates():
+    b = CircuitBuilder(share=True)
+    x, y = b.var("x"), b.var("y")
+    g1 = b.mul(x, y)
+    g2 = b.mul(y, x)  # commutative key: same gate
+    assert g1 == g2
+    assert b.var("x") == x
+
+
+def test_no_sharing_mode():
+    b = CircuitBuilder(share=False)
+    x1 = b.var("x")
+    x2 = b.var("x")
+    assert x1 != x2
+
+
+def test_builder_constant_simplifications():
+    b = CircuitBuilder(share=True)
+    x = b.var("x")
+    assert b.add(x, b.const0()) == x
+    assert b.mul(x, b.const1()) == x
+    assert b.mul(x, b.const0()) == b.const0()
+
+
+def test_balanced_add_all_depth_is_logarithmic():
+    b = CircuitBuilder()
+    leaves = [b.var(i) for i in range(100)]
+    out = b.add_all(leaves)
+    c = b.build(out)
+    assert c.depth == math.ceil(math.log2(100))
+
+
+def test_empty_folds():
+    b = CircuitBuilder()
+    zero = b.add_all([])
+    one = b.mul_all([])
+    c = b.build([zero, one])
+    assert c.ops[c.outputs[0]] == 1  # OP_CONST0
+    assert c.ops[c.outputs[1]] == 2  # OP_CONST1
+
+
+def test_is_formula_detection():
+    c = build_simple()
+    assert not c.is_formula()  # x is shared by two muls
+    b = CircuitBuilder(share=False)
+    out = b.mul(b.var("x"), b.var("y"))
+    assert b.build(out).is_formula()
+
+
+def test_fanout():
+    c = build_simple()
+    fanout = c.fanout()
+    x_index = c.ops.index(OP_VAR)
+    assert fanout[x_index] == 2  # x feeds both muls
+
+
+def test_variables_order_and_dedup():
+    c = build_simple()
+    assert c.variables() == ["x", "y", "z"]
+
+
+def test_prune_drops_dead_gates():
+    b = CircuitBuilder()
+    x, y = b.var("x"), b.var("y")
+    used = b.mul(x, y)
+    b.add(x, y)  # dead gate
+    c = b.build(used)
+    assert c.size == 4
+    pruned = c.prune()
+    assert pruned.size == 3
+    assert pruned.depth == c.depth
+
+
+def test_with_outputs():
+    b = CircuitBuilder()
+    x, y = b.var("x"), b.var("y")
+    g = b.mul(x, y)
+    c = b.build(g)
+    c2 = c.with_outputs([x])
+    assert c2.outputs == [x]
+
+
+def test_invalid_output_index():
+    with pytest.raises(ValueError):
+        Circuit([OP_VAR], [-1], [-1], ["x"], [5])
+
+
+def test_mismatched_arrays():
+    with pytest.raises(ValueError):
+        Circuit([OP_VAR, OP_ADD], [-1], [-1], ["x"], [0])
+
+
+def test_splice_copies_structure():
+    c = build_simple()
+    b = CircuitBuilder()
+    remap = b.splice(c)
+    c2 = b.build(remap[c.outputs[0]])
+    assert c2.size == c.size
+    assert c2.depth == c.depth
+
+
+def test_splice_with_input_map():
+    c = build_simple()
+    b = CircuitBuilder()
+    one = b.const1()
+    remap = b.splice(c, input_map={"x": one})
+    c2 = b.build(remap[c.outputs[0]], prune=True)
+    # with x := 1: (1·y) ⊕ (1·z) simplifies to y ⊕ z under sharing
+    assert set(c2.variables()) == {"y", "z"}
+
+
+def test_measure_metrics():
+    m = measure(build_simple())
+    assert m.size == 6
+    assert m.num_add_gates == 1
+    assert m.num_mul_gates == 2
+    assert m.num_inputs == 3
+    assert m.num_internal == 3
+    assert m.max_fanout == 2
+    assert not m.is_formula
+    assert m.num_wires == 6
+    assert "size=" in m.row()
+
+
+def test_node_depths_monotone():
+    c = build_simple()
+    depths = c.node_depths()
+    for i in range(len(c.ops)):
+        if c.ops[i] in (OP_ADD, OP_MUL):
+            assert depths[i] > max(depths[c.lhs[i]], depths[c.rhs[i]]) - 1
+
+
+def test_pretty_and_repr():
+    c = build_simple()
+    assert "Circuit(size=6" in repr(c)
+    assert "output" in c.pretty()

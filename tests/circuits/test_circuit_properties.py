@@ -1,0 +1,114 @@
+"""Hypothesis properties of the circuit substrate.
+
+The central one: **evaluation factors through the canonical
+polynomial** -- for any circuit ``C``, absorptive semiring ``S`` and
+assignment ``ν``, ``eval_S(C, ν) = (canonical polynomial of C)(ν)``.
+This is the semantic backbone of the whole reproduction (it is why
+checking polynomial equality in Sorp(X) certifies all semirings).
+"""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    CircuitBuilder,
+    canonical_polynomial,
+    circuit_to_formula,
+    evaluate,
+)
+from repro.semirings import BOOLEAN, FUZZY, TROPICAL, VITERBI
+
+VARIABLES = ["a", "b", "c", "d"]
+
+
+def random_circuit(seed: int, gates: int, share: bool = True):
+    """A random DAG circuit over a 4-variable pool."""
+    rng = random.Random(seed)
+    builder = CircuitBuilder(share=share)
+    nodes = [builder.var(v) for v in VARIABLES]
+    nodes.append(builder.const0())
+    nodes.append(builder.const1())
+    for _ in range(gates):
+        left, right = rng.choice(nodes), rng.choice(nodes)
+        node = builder.add(left, right) if rng.random() < 0.5 else builder.mul(left, right)
+        nodes.append(node)
+    return builder.build(nodes[-1])
+
+
+def tropical_assignment(rng: random.Random):
+    return {v: float(rng.randint(0, 6)) for v in VARIABLES}
+
+
+@given(seed=st.integers(0, 10_000), gates=st.integers(1, 25))
+@settings(max_examples=60, deadline=None)
+def test_evaluation_factors_through_canonical_polynomial(seed, gates):
+    circuit = random_circuit(seed, gates)
+    poly = canonical_polynomial(circuit)
+    rng = random.Random(seed + 1)
+    for semiring in (TROPICAL, VITERBI, FUZZY, BOOLEAN):
+        if semiring is BOOLEAN:
+            assignment = {v: rng.random() < 0.5 for v in VARIABLES}
+        elif semiring is TROPICAL:
+            assignment = tropical_assignment(rng)
+        else:
+            assignment = {v: rng.randint(0, 10) / 10.0 for v in VARIABLES}
+        direct = evaluate(circuit, semiring, assignment)
+        via_poly = poly.evaluate(semiring, assignment)
+        assert semiring.eq(direct, via_poly), (semiring.name, poly)
+
+
+@given(seed=st.integers(0, 10_000), gates=st.integers(1, 30))
+@settings(max_examples=60, deadline=None)
+def test_prune_preserves_polynomial_and_depth(seed, gates):
+    circuit = random_circuit(seed, gates)
+    pruned = circuit.prune()
+    assert pruned.size <= circuit.size
+    assert pruned.depth == circuit.depth
+    assert canonical_polynomial(pruned) == canonical_polynomial(circuit)
+
+
+@given(seed=st.integers(0, 10_000), gates=st.integers(1, 14))
+@settings(max_examples=40, deadline=None)
+def test_formula_expansion_is_equivalent(seed, gates):
+    circuit = random_circuit(seed, gates)
+    formula = circuit_to_formula(circuit, max_size=200_000)
+    assert formula.is_formula()
+    assert formula.depth == circuit.depth
+    assert canonical_polynomial(formula) == canonical_polynomial(circuit)
+
+
+@given(seed=st.integers(0, 10_000), gates=st.integers(1, 25))
+@settings(max_examples=40, deadline=None)
+def test_splice_is_polynomial_preserving(seed, gates):
+    circuit = random_circuit(seed, gates)
+    builder = CircuitBuilder(share=True)
+    remap = builder.splice(circuit)
+    copy = builder.build(remap[circuit.outputs[0]])
+    assert canonical_polynomial(copy) == canonical_polynomial(circuit)
+
+
+@given(seed=st.integers(0, 10_000), gates=st.integers(1, 25))
+@settings(max_examples=40, deadline=None)
+def test_sharing_and_nonsharing_builders_agree(seed, gates):
+    shared = random_circuit(seed, gates, share=True)
+    unshared = random_circuit(seed, gates, share=False)
+    assert canonical_polynomial(shared) == canonical_polynomial(unshared)
+    assert shared.size <= unshared.size  # hash-consing can only shrink
+
+
+@given(seed=st.integers(0, 10_000), gates=st.integers(1, 30))
+@settings(max_examples=40, deadline=None)
+def test_boolean_fast_path_agrees_with_support_of_tropical(seed, gates):
+    # Prop 3.6 at the circuit level: support(eval_T) = eval_B.
+    from repro.circuits import evaluate_boolean
+
+    circuit = random_circuit(seed, gates)
+    rng = random.Random(seed + 2)
+    trues = {v for v in VARIABLES if rng.random() < 0.6}
+    tropical = {v: (0.0 if v in trues else math.inf) for v in VARIABLES}
+    assert (evaluate(circuit, TROPICAL, tropical) != math.inf) == evaluate_boolean(
+        circuit, trues
+    )

@@ -1,0 +1,86 @@
+"""Circuit evaluation over semirings."""
+
+import math
+
+import pytest
+
+from repro.circuits import CircuitBuilder, evaluate, evaluate_all, evaluate_boolean
+from repro.semirings import BOOLEAN, COUNTING, TROPICAL, VITERBI
+
+
+def build():
+    b = CircuitBuilder()
+    x, y, z = b.var("x"), b.var("y"), b.var("z")
+    out = b.add(b.mul(x, y), z)
+    return b.build(out)
+
+
+def test_evaluate_counting():
+    assert evaluate(build(), COUNTING, {"x": 2, "y": 3, "z": 4}) == 10
+
+
+def test_evaluate_tropical():
+    assert evaluate(build(), TROPICAL, {"x": 2.0, "y": 3.0, "z": 4.0}) == 4.0
+
+
+def test_evaluate_viterbi():
+    assert evaluate(build(), VITERBI, {"x": 0.5, "y": 0.5, "z": 0.1}) == 0.25
+
+
+def test_evaluate_with_callable_assignment():
+    value = evaluate(build(), COUNTING, lambda label: {"x": 1, "y": 1, "z": 1}[label])
+    assert value == 2
+
+
+def test_evaluate_all_returns_every_node():
+    c = build()
+    values = evaluate_all(c, COUNTING, {"x": 2, "y": 3, "z": 4})
+    assert len(values) == c.size
+    assert values[c.outputs[0]] == 10
+
+
+def test_evaluate_constants():
+    b = CircuitBuilder()
+    out = b.add(b.const1(), b.var("x"))
+    c = b.build(out)
+    assert evaluate(c, COUNTING, {"x": 5}) == 6
+    assert evaluate(c, TROPICAL, {"x": 5.0}) == 0.0  # 1 ⊕ x = 1 (absorption)
+
+
+def test_evaluate_boolean_fast_path():
+    c = build()
+    assert evaluate_boolean(c, {"x", "y"})
+    assert evaluate_boolean(c, {"z"})
+    assert not evaluate_boolean(c, {"x"})
+    assert not evaluate_boolean(c, set())
+
+
+def test_evaluate_boolean_matches_semiring_evaluation():
+    c = build()
+    for trues in [set(), {"x"}, {"x", "y"}, {"z"}, {"x", "y", "z"}]:
+        assignment = {v: (v in trues) for v in ("x", "y", "z")}
+        assert evaluate_boolean(c, trues) == evaluate(c, BOOLEAN, assignment)
+
+
+def test_multi_output_requires_explicit_output():
+    b = CircuitBuilder()
+    x, y = b.var("x"), b.var("y")
+    c = b.build([x, y])
+    with pytest.raises(ValueError):
+        evaluate(c, COUNTING, {"x": 1, "y": 2})
+    assert evaluate(c, COUNTING, {"x": 1, "y": 2}, output=c.outputs[1]) == 2
+
+
+def test_missing_assignment_raises():
+    with pytest.raises(KeyError):
+        evaluate(build(), COUNTING, {"x": 1})
+
+
+def test_linear_time_evaluation_scales():
+    b = CircuitBuilder()
+    node = b.var(0)
+    for i in range(1, 2000):
+        node = b.add(node, b.var(i))
+    c = b.build(node)
+    total = evaluate(c, COUNTING, lambda label: 1)
+    assert total == 2000

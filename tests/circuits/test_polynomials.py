@@ -1,0 +1,74 @@
+"""Canonical polynomials and circuit equivalence decisions."""
+
+from repro.circuits import (
+    CircuitBuilder,
+    canonical_polynomial,
+    equivalent_over_absorptive,
+    produced_polynomial,
+    random_equivalence_check,
+)
+from repro.semirings import Monomial, Polynomial, TROPICAL
+
+
+def test_canonical_polynomial_applies_absorption():
+    b = CircuitBuilder()
+    x, y = b.var("x"), b.var("y")
+    out = b.add(x, b.mul(x, y))  # x ⊕ xy ≡ x
+    poly = canonical_polynomial(b.build(out))
+    assert poly == Polynomial.variable("x")
+
+
+def test_produced_polynomial_keeps_multiplicities():
+    b = CircuitBuilder(share=False)
+    x1, x2 = b.var("x"), b.var("x")
+    out = b.add(x1, x2)  # produces 2x in ℕ[X]
+    poly = produced_polynomial(b.build(out))
+    assert poly.coefficient(Monomial({"x": 1})) == 2
+
+
+def test_canonical_idempotent_mul_caps():
+    b = CircuitBuilder()
+    x = b.var("x")
+    out = b.mul(x, x)
+    assert canonical_polynomial(b.build(out), idempotent_mul=True) == Polynomial.variable(
+        "x", idempotent_mul=True
+    )
+
+
+def test_equivalence_positive():
+    b1 = CircuitBuilder()
+    out1 = b1.mul(b1.var("x"), b1.add(b1.var("y"), b1.var("z")))
+    c1 = b1.build(out1)
+    b2 = CircuitBuilder()
+    out2 = b2.add(b2.mul(b2.var("x"), b2.var("y")), b2.mul(b2.var("x"), b2.var("z")))
+    c2 = b2.build(out2)
+    assert equivalent_over_absorptive(c1, c2)
+    assert random_equivalence_check(c1, c2)
+
+
+def test_equivalence_negative():
+    b1 = CircuitBuilder()
+    c1 = b1.build(b1.mul(b1.var("x"), b1.var("y")))
+    b2 = CircuitBuilder()
+    c2 = b2.build(b2.add(b2.var("x"), b2.var("y")))
+    assert not equivalent_over_absorptive(c1, c2)
+    assert not random_equivalence_check(c1, c2, TROPICAL, trials=32)
+
+
+def test_equivalence_distinguishes_exponents_unless_idempotent():
+    b1 = CircuitBuilder()
+    x = b1.var("x")
+    c1 = b1.build(b1.mul(x, x))
+    b2 = CircuitBuilder()
+    c2 = b2.build(b2.var("x"))
+    assert not equivalent_over_absorptive(c1, c2)  # x² ≠ x over tropical
+    assert equivalent_over_absorptive(c1, c2, idempotent_mul=True)  # equal in Chom
+
+
+def test_random_check_finds_tropical_counterexample_for_squares():
+    b1 = CircuitBuilder()
+    x = b1.var("x")
+    c1 = b1.build(b1.mul(x, x))
+    b2 = CircuitBuilder()
+    c2 = b2.build(b2.var("x"))
+    assert not random_equivalence_check(c1, c2, TROPICAL, trials=32)

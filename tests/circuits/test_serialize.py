@@ -1,0 +1,72 @@
+"""Circuit JSON round-trip and DOT export."""
+
+import json
+
+import pytest
+
+from repro.circuits import (
+    CircuitBuilder,
+    canonical_polynomial,
+    from_json,
+    to_dot,
+    to_json,
+)
+
+
+def build():
+    b = CircuitBuilder()
+    x, y = b.var("x"), b.var("y")
+    out = b.add(b.mul(x, y), b.const1())
+    return b.build(out)
+
+
+def test_json_roundtrip_exact():
+    circuit = build()
+    restored = from_json(to_json(circuit))
+    assert restored.ops == circuit.ops
+    assert restored.lhs == circuit.lhs
+    assert restored.rhs == circuit.rhs
+    assert restored.labels == circuit.labels
+    assert restored.outputs == circuit.outputs
+    assert canonical_polynomial(restored) == canonical_polynomial(circuit)
+
+
+def test_json_is_valid_json_with_header():
+    payload = json.loads(to_json(build()))
+    assert payload["format"] == "repro-circuit"
+    assert payload["version"] == 1
+
+
+def test_json_non_native_labels_stringified():
+    from repro.datalog import Fact
+
+    b = CircuitBuilder()
+    out = b.var(Fact("E", (0, 1)))
+    restored = from_json(to_json(b.build(out)))
+    assert restored.labels[0] == "E(0,1)"  # documented lossy corner
+
+
+def test_from_json_rejects_foreign_documents():
+    with pytest.raises(ValueError):
+        from_json('{"format": "something-else"}')
+    with pytest.raises(ValueError):
+        from_json('{"format": "repro-circuit", "version": 99}')
+
+
+def test_dot_output_structure():
+    dot = to_dot(build())
+    assert dot.startswith("digraph circuit {")
+    assert "⊕" in dot and "⊗" in dot
+    assert "peripheries=2" in dot  # output marked
+    assert dot.count("->") == 4  # two gates × two children
+
+
+def test_dot_size_guard():
+    b = CircuitBuilder()
+    node = b.var(0)
+    for i in range(1, 600):
+        node = b.add(node, b.var(i))
+    big = b.build(node)
+    with pytest.raises(ValueError):
+        to_dot(big)
+    assert to_dot(big, max_nodes=None)  # explicit opt-out works

@@ -1,0 +1,165 @@
+"""Circuit→formula expansion (Prop 3.3) and Brent/Wegener balancing
+(Thm 3.2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    CircuitBuilder,
+    FormulaTree,
+    balance_formula,
+    canonical_polynomial,
+    circuit_to_formula,
+    circuit_to_tree,
+    formula_depth_bound,
+    tree_to_formula,
+)
+
+
+def shared_circuit():
+    b = CircuitBuilder()
+    x, y, z = b.var("x"), b.var("y"), b.var("z")
+    shared = b.add(x, y)
+    out = b.mul(shared, b.mul(shared, z))
+    return b.build(out)
+
+
+def test_expansion_is_a_formula():
+    f = circuit_to_formula(shared_circuit())
+    assert f.is_formula()
+
+
+def test_expansion_preserves_depth():
+    c = shared_circuit()
+    f = circuit_to_formula(c)
+    assert f.depth == c.depth
+
+
+def test_expansion_preserves_polynomial():
+    c = shared_circuit()
+    f = circuit_to_formula(c)
+    assert canonical_polynomial(f) == canonical_polynomial(c)
+
+
+def test_expansion_duplicates_shared_gates():
+    c = shared_circuit()
+    f = circuit_to_formula(c)
+    assert f.size > c.size  # the shared ⊕ gate is copied
+
+
+def test_expansion_size_bound():
+    # Prop 3.3: formula size ≤ 2^{d+1} for depth-d circuits.
+    c = shared_circuit()
+    f = circuit_to_formula(c)
+    assert f.size <= 2 ** (c.depth + 1)
+
+
+def test_expansion_budget_guard():
+    # A ladder of shared gates explodes exponentially: the guard trips.
+    b = CircuitBuilder()
+    node = b.add(b.var("a"), b.var("b"))
+    for i in range(40):
+        node = b.mul(node, node)
+    c = b.build(node)
+    with pytest.raises(MemoryError):
+        circuit_to_formula(c, max_size=10_000)
+
+
+def test_multi_output_requires_choice():
+    b = CircuitBuilder()
+    c = b.build([b.var("x"), b.var("y")])
+    with pytest.raises(ValueError):
+        circuit_to_tree(c)
+    assert circuit_to_tree(c, output=c.outputs[0]).label == "x"
+
+
+# -- balancing ------------------------------------------------------------
+
+
+def random_formula_tree(rng: random.Random, size: int) -> FormulaTree:
+    """A random skewed monotone formula over a small variable pool."""
+    if size <= 1:
+        return FormulaTree.var(rng.choice("abcdef"))
+    left_size = rng.randint(1, size - 1)
+    op = rng.choice([3, 4])  # OP_ADD, OP_MUL
+    return FormulaTree.combine(
+        op,
+        random_formula_tree(rng, left_size),
+        random_formula_tree(rng, size - left_size),
+    )
+
+
+def chain_formula(n: int) -> FormulaTree:
+    """Worst case for depth: a left chain x₁ ⊗ x₂ ⊗ ... ⊗ xₙ."""
+    node = FormulaTree.var("v0")
+    for i in range(1, n):
+        node = FormulaTree.combine(4, node, FormulaTree.var(f"v{i}"))
+    return node
+
+
+def test_balance_chain_reduces_depth():
+    tree = chain_formula(64)
+    original = tree_to_formula(tree)
+    balanced = balance_formula(tree)
+    assert original.depth == 63
+    assert balanced.depth <= formula_depth_bound(original.size)
+    assert balanced.depth <= 20
+    assert canonical_polynomial(balanced) == canonical_polynomial(original)
+
+
+def test_balance_preserves_formula_property():
+    balanced = balance_formula(chain_formula(40))
+    assert balanced.is_formula()
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_balance_random_formulas_equivalent_over_absorptive(seed):
+    rng = random.Random(seed)
+    tree = random_formula_tree(rng, 60)
+    original = tree_to_formula(tree)
+    balanced = balance_formula(tree)
+    # Equivalence over every absorptive semiring (Sorp initiality).
+    assert canonical_polynomial(balanced) == canonical_polynomial(original)
+    assert balanced.depth <= formula_depth_bound(original.size)
+
+
+@given(seed=st.integers(0, 10_000), size=st.integers(2, 80))
+@settings(max_examples=40, deadline=None)
+def test_balance_property(seed, size):
+    rng = random.Random(seed)
+    tree = random_formula_tree(rng, size)
+    original = tree_to_formula(tree)
+    balanced = balance_formula(tree)
+    assert balanced.is_formula()
+    assert canonical_polynomial(balanced) == canonical_polynomial(original)
+    assert balanced.depth <= formula_depth_bound(original.size)
+
+
+def test_balance_small_formula_is_identity_like():
+    tree = FormulaTree.combine(3, FormulaTree.var("x"), FormulaTree.var("y"))
+    balanced = balance_formula(tree)
+    assert canonical_polynomial(balanced) == canonical_polynomial(tree_to_formula(tree))
+    assert balanced.depth <= 2
+
+
+def test_balance_with_constants():
+    # 0/1 leaves are simplified away before balancing.
+    tree = FormulaTree.combine(
+        4,
+        FormulaTree.const(True),
+        FormulaTree.combine(3, FormulaTree.var("x"), FormulaTree.const(False)),
+    )
+    balanced = balance_formula(tree)
+    poly = canonical_polynomial(balanced)
+    from repro.semirings import Polynomial
+
+    assert poly == Polynomial.variable("x")
+
+
+def test_formula_depth_bound_is_logarithmic():
+    assert formula_depth_bound(2) <= 8
+    assert formula_depth_bound(1024) <= 2 * 18 + 4
+    assert formula_depth_bound(1 << 20) < 80

@@ -1,0 +1,32 @@
+"""Shared fixtures: the paper's running examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import Database, Fact, transitive_closure
+
+
+@pytest.fixture
+def figure1_db() -> Database:
+    """The exact EDB relation of Figure 1 (7 edges)."""
+    edges = [
+        ("s", "u1"),
+        ("s", "u2"),
+        ("u1", "v1"),
+        ("u1", "v2"),
+        ("u2", "v2"),
+        ("v1", "t"),
+        ("v2", "t"),
+    ]
+    return Database.from_edges(edges)
+
+
+@pytest.fixture
+def figure1_fact() -> Fact:
+    return Fact("T", ("s", "t"))
+
+
+@pytest.fixture
+def tc_program():
+    return transitive_closure()

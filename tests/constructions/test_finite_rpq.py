@@ -1,0 +1,99 @@
+"""Theorem 5.8: linear-size circuits for finite RPQs."""
+
+import math
+
+import pytest
+
+from repro.circuits import canonical_polynomial, evaluate
+from repro.constructions import finite_rpq_circuit
+from repro.datalog import Database, Fact, naive_evaluation, provenance_by_proof_trees
+from repro.grammars import parse_regex, rpq_program
+from repro.semirings import TROPICAL
+from repro.workloads import random_labeled_digraph, word_path
+
+
+def reference_polynomial(pattern, edges, source, sink):
+    """Provenance via the chain-program proof trees (trusted path)."""
+    program, _eps = rpq_program(pattern)
+    db = Database.from_labeled_edges(edges)
+    return provenance_by_proof_trees(program, db, Fact("S", (source, sink)))
+
+
+@pytest.mark.parametrize(
+    "pattern,edges,source,sink",
+    [
+        ("ab|abc", [(0, "a", 1), (1, "b", 2), (2, "c", 3), (1, "b", 3)], 0, 3),
+        ("ab", [(0, "a", 1), (1, "b", 2), (0, "a", 2)], 0, 2),
+        ("a(b|c)", [(0, "a", 1), (1, "b", 2), (1, "c", 2)], 0, 2),
+        ("abc?", [(0, "a", 1), (1, "b", 2), (2, "c", 3)], 0, 2),
+    ],
+)
+def test_matches_chain_program_provenance(pattern, edges, source, sink):
+    dfa = parse_regex(pattern).to_dfa()
+    circuit = finite_rpq_circuit(edges, dfa, source, sink)
+    assert canonical_polynomial(circuit) == reference_polynomial(
+        pattern, edges, source, sink
+    )
+
+
+def test_random_graphs_cross_check():
+    pattern = "ab|ba"
+    dfa = parse_regex(pattern).to_dfa()
+    program, _ = rpq_program(pattern)
+    for seed in range(4):
+        edges = random_labeled_digraph(5, 10, "ab", seed=seed, backbone_word="ab")
+        db = Database.from_labeled_edges(edges)
+        circuit = finite_rpq_circuit(edges, dfa, 0, 2)
+        reference = provenance_by_proof_trees(program, db, Fact("S", (0, 2)))
+        assert canonical_polynomial(circuit) == reference, seed
+
+
+def test_rejects_infinite_language():
+    dfa = parse_regex("a*").to_dfa()
+    with pytest.raises(ValueError):
+        finite_rpq_circuit([(0, "a", 1)], dfa, 0, 1)
+
+
+def test_linear_size_in_input():
+    # Theorem 5.8: size O(m) for a fixed finite RPQ.
+    dfa = parse_regex("abc").to_dfa()
+    sizes = []
+    for m in (20, 40, 80):
+        edges = random_labeled_digraph(m // 2, m, "abc", seed=m, backbone_word="abc")
+        circuit = finite_rpq_circuit(edges, dfa, 0, 3)
+        sizes.append(circuit.size)
+    # doubling m must not quadruple the size (linear growth)
+    assert sizes[2] <= 4 * sizes[1] + 16
+    assert sizes[1] <= 4 * sizes[0] + 16
+
+
+def test_logarithmic_depth():
+    dfa = parse_regex("abc").to_dfa()
+    depths = []
+    for m in (16, 64, 256):
+        edges = random_labeled_digraph(m // 2, m, "abc", seed=m, backbone_word="abc")
+        circuit = finite_rpq_circuit(edges, dfa, 0, 3)
+        depths.append(circuit.depth)
+    assert depths[-1] <= depths[0] + 2 * math.log2(256 / 16) + 4
+
+
+def test_tropical_value():
+    dfa = parse_regex("ab|c").to_dfa()
+    edges = [(0, "a", 1), (1, "b", 2), (0, "c", 2)]
+    weights = {
+        Fact("a", (0, 1)): 1.0,
+        Fact("b", (1, 2)): 1.0,
+        Fact("c", (0, 2)): 5.0,
+    }
+    circuit = finite_rpq_circuit(edges, dfa, 0, 2)
+    assert evaluate(circuit, TROPICAL, weights) == 2.0
+
+
+def test_epsilon_word_excluded():
+    dfa = parse_regex("a?").to_dfa()  # {ε, a}
+    edges = [(0, "a", 0)]
+    circuit = finite_rpq_circuit(edges, dfa, 0, 0)
+    # only the self-loop 'a' word counts, not ε
+    poly = canonical_polynomial(circuit)
+    assert len(poly) == 1
+    assert not poly.is_one()

@@ -1,0 +1,114 @@
+"""Theorem 3.5 (graph-as-circuit) and Theorem 4.3 (bounded programs)."""
+
+import math
+
+import pytest
+
+from repro.circuits import canonical_polynomial, evaluate, measure
+from repro.constructions import bounded_circuit, dag_circuit, layered_circuit
+from repro.datalog import (
+    Database,
+    Fact,
+    bounded_example,
+    provenance_by_proof_trees,
+    transitive_closure,
+)
+from repro.semirings import TROPICAL
+from repro.workloads import layered_graph
+
+TC = transitive_closure()
+
+
+def test_dag_circuit_matches_proof_trees(figure1_db, figure1_fact):
+    circuit = dag_circuit(figure1_db, "s", "t")
+    assert canonical_polynomial(circuit) == provenance_by_proof_trees(
+        TC, figure1_db, figure1_fact
+    )
+
+
+def test_dag_circuit_linear_size():
+    # Theorem 3.5: size O(m).
+    for width, depth in [(3, 4), (4, 6), (5, 8)]:
+        graph = layered_graph(width, depth, seed=width)
+        circuit = dag_circuit(graph.database(), graph.source, graph.sink)
+        m = len(graph.edges)
+        assert circuit.size <= 3 * m + 2, (width, depth, circuit.size, m)
+
+
+def test_dag_circuit_rejects_cycles():
+    db = Database.from_edges([(0, 1), (1, 0)])
+    with pytest.raises(ValueError):
+        dag_circuit(db, 0, 1)
+
+
+def test_dag_circuit_unreachable_sink():
+    db = Database.from_edges([(0, 1), (2, 3)])
+    circuit = dag_circuit(db, 0, 3)
+    assert canonical_polynomial(circuit).is_zero()
+
+
+def test_layered_circuit_validates_layering():
+    with pytest.raises(ValueError):
+        layered_circuit([[1], [2]], [("s", 2)], "s", "t")  # skips layer 1
+
+
+def test_layered_circuit_on_generated_graph():
+    graph = layered_graph(3, 3, seed=7)
+    circuit = layered_circuit(graph.layers, graph.edges, graph.source, graph.sink)
+    reference = provenance_by_proof_trees(
+        TC, graph.database(), Fact("T", (graph.source, graph.sink))
+    )
+    assert canonical_polynomial(circuit) == reference
+
+
+def test_layered_tropical_value():
+    graph = layered_graph(3, 4, seed=1)
+    db = graph.database()
+    weights = {fact: 1.0 for fact in db.facts()}
+    circuit = dag_circuit(db, graph.source, graph.sink)
+    # every s–t path crosses all layers: length = num_layers + 1
+    assert evaluate(circuit, TROPICAL, weights) == graph.path_length
+
+
+# -- bounded programs ------------------------------------------------------
+
+
+def bounded_db(n: int) -> Database:
+    db = Database.from_edges([(i, i + 1) for i in range(n)])
+    db.add("A", 0)
+    db.add("A", 1)
+    return db
+
+
+def test_bounded_example_full_provenance_with_two_stages():
+    # Example 4.2 is bounded with k = 2 over any absorptive semiring.
+    program = bounded_example()
+    db = bounded_db(5)
+    fact = Fact("T", (0, 3))
+    circuit = bounded_circuit(program, db, bound=2, facts=fact)
+    assert canonical_polynomial(circuit) == provenance_by_proof_trees(program, db, fact)
+
+
+def test_bounded_circuit_depth_logarithmic():
+    # Theorem 4.3: depth O(log |I|) across a sweep.
+    program = bounded_example()
+    depths = []
+    for n in (8, 16, 32):
+        db = bounded_db(n)
+        circuit = bounded_circuit(program, db, bound=2, facts=Fact("T", (0, 3)))
+        depths.append(circuit.depth)
+    assert depths[-1] <= depths[0] + 2 * math.log2(32 / 8) + 4
+
+
+def test_bounded_circuit_requires_positive_bound():
+    with pytest.raises(ValueError):
+        bounded_circuit(bounded_example(), bounded_db(3), bound=0)
+
+
+def test_one_stage_misses_recursive_contributions():
+    program = bounded_example()
+    db = bounded_db(5)
+    fact = Fact("T", (0, 3))
+    one = bounded_circuit(program, db, bound=1, facts=fact)
+    two = bounded_circuit(program, db, bound=2, facts=fact)
+    assert canonical_polynomial(one) != canonical_polynomial(two)

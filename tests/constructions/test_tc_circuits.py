@@ -1,0 +1,119 @@
+"""Theorems 5.6 (Bellman–Ford) and 5.7 (repeated squaring) for TC."""
+
+import math
+
+import pytest
+
+from repro.circuits import canonical_polynomial, evaluate, measure
+from repro.constructions import (
+    bellman_ford_all_targets,
+    bellman_ford_circuit,
+    squaring_all_pairs,
+    squaring_circuit,
+)
+from repro.datalog import Database, Fact, provenance_by_proof_trees, transitive_closure
+from repro.semirings import TROPICAL, VITERBI
+from repro.workloads import random_digraph, random_weights
+
+TC = transitive_closure()
+
+
+@pytest.mark.parametrize("builder", [bellman_ford_circuit, squaring_circuit], ids=["bf", "sq"])
+@pytest.mark.parametrize("seed", range(4))
+def test_matches_proof_tree_provenance_random(builder, seed):
+    db = random_digraph(6, 12, seed=seed)
+    fact = Fact("T", (0, 5))
+    circuit = builder(db, 0, 5)
+    assert canonical_polynomial(circuit) == provenance_by_proof_trees(TC, db, fact)
+
+
+@pytest.mark.parametrize("builder", [bellman_ford_circuit, squaring_circuit], ids=["bf", "sq"])
+def test_cycles_are_absorbed(builder):
+    db = Database.from_edges([(0, 1), (1, 0), (1, 2), (2, 1), (2, 3)])
+    fact = Fact("T", (0, 3))
+    circuit = builder(db, 0, 3)
+    assert canonical_polynomial(circuit) == provenance_by_proof_trees(TC, db, fact)
+
+
+@pytest.mark.parametrize("builder", [bellman_ford_circuit, squaring_circuit], ids=["bf", "sq"])
+def test_source_equals_sink_rejected(builder):
+    db = Database.from_edges([(0, 1), (1, 0)])
+    with pytest.raises(ValueError):
+        builder(db, 0, 0)
+
+
+def test_bellman_ford_shortest_path_value():
+    db = random_digraph(9, 20, seed=3)
+    weights = random_weights(db, seed=3)
+    circuit = bellman_ford_circuit(db, 0, 8)
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    for fact, w in weights.items():
+        graph.add_edge(*fact.args, weight=w)
+    expected = nx.dijkstra_path_length(graph, 0, 8)
+    assert math.isclose(evaluate(circuit, TROPICAL, weights), expected)
+
+
+def test_bellman_ford_size_is_o_mn():
+    db = random_digraph(10, 30, seed=1)
+    circuit = bellman_ford_circuit(db, 0, 9)
+    m, n = 30, 10
+    assert circuit.size <= 6 * m * n
+
+
+def test_bellman_ford_rounds_cutoff():
+    db = Database.from_edges([(i, i + 1) for i in range(6)])
+    full = bellman_ford_circuit(db, 0, 6)
+    short = bellman_ford_circuit(db, 0, 6, rounds=3)
+    assert not canonical_polynomial(full).is_zero()
+    assert canonical_polynomial(short).is_zero()  # path needs 6 rounds
+
+
+def test_bellman_ford_all_targets():
+    db = Database.from_edges([(0, 1), (1, 2), (0, 3)])
+    circuit, node_of = bellman_ford_all_targets(db, 0)
+    for target in (1, 2, 3):
+        poly = canonical_polynomial(circuit, output=node_of[target])
+        assert poly == provenance_by_proof_trees(TC, db, Fact("T", (0, target)))
+
+
+def test_squaring_depth_is_polylog():
+    for n in (6, 10, 14):
+        db = random_digraph(n, 3 * n, seed=n)
+        circuit = squaring_circuit(db, 0, n - 1)
+        bound = 2 * (math.ceil(math.log2(n)) + 1) ** 2 + 8
+        assert circuit.depth <= bound, (n, circuit.depth, bound)
+
+
+def test_squaring_beats_bellman_ford_depth_on_long_paths():
+    db = Database.from_edges([(i, i + 1) for i in range(24)])
+    bf = bellman_ford_circuit(db, 0, 24)
+    sq = squaring_circuit(db, 0, 24)
+    assert sq.depth < bf.depth
+
+
+def test_squaring_all_pairs():
+    db = Database.from_edges([(0, 1), (1, 2)])
+    circuit, node_of = squaring_all_pairs(db)
+    poly_02 = canonical_polynomial(circuit, output=node_of[(0, 2)])
+    assert poly_02 == provenance_by_proof_trees(TC, db, Fact("T", (0, 2)))
+    poly_20 = canonical_polynomial(circuit, output=node_of[(2, 0)])
+    assert poly_20.is_zero()
+
+
+def test_squaring_viterbi_value():
+    db = Database.from_edges([(0, 1), (1, 2), (0, 2)])
+    weights = {
+        Fact("E", (0, 1)): 0.9,
+        Fact("E", (1, 2)): 0.9,
+        Fact("E", (0, 2)): 0.5,
+    }
+    circuit = squaring_circuit(db, 0, 2)
+    assert math.isclose(evaluate(circuit, VITERBI, weights), 0.81)
+
+
+def test_unreachable_pair_is_zero():
+    db = Database.from_edges([(0, 1), (2, 3)])
+    assert canonical_polynomial(bellman_ford_circuit(db, 0, 3)).is_zero()
+    assert canonical_polynomial(squaring_circuit(db, 0, 3)).is_zero()

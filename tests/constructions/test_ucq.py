@@ -1,0 +1,97 @@
+"""Proposition 3.7: UCQ circuits and formulas."""
+
+import math
+
+from repro.circuits import canonical_polynomial, evaluate, measure
+from repro.constructions import cq_valuations, ucq_circuit
+from repro.datalog import Atom, ConjunctiveQuery, Constant, Database, Fact, Variable
+from repro.semirings import COUNTING, TROPICAL
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def triangle_cq():
+    """Q(X) :- E(X,Y), E(Y,Z), E(Z,X)."""
+    return ConjunctiveQuery(
+        Atom("Q", (X,)),
+        (Atom("E", (X, Y)), Atom("E", (Y, Z)), Atom("E", (Z, X))),
+    )
+
+
+def path2_cq():
+    """Q(X, Z) :- E(X,Y), E(Y,Z)."""
+    return ConjunctiveQuery(Atom("Q", (X, Z)), (Atom("E", (X, Y)), Atom("E", (Y, Z))))
+
+
+def test_cq_valuations_enumerate_joins():
+    db = Database.from_edges([(0, 1), (1, 2), (1, 3)])
+    valuations = cq_valuations(path2_cq(), db, (0, 2))
+    assert valuations == [(Fact("E", (0, 1)), Fact("E", (1, 2)))]
+    assert cq_valuations(path2_cq(), db, (0, 9)) == []
+
+
+def test_valuation_arity_check():
+    import pytest
+
+    db = Database.from_edges([(0, 1)])
+    with pytest.raises(ValueError):
+        cq_valuations(path2_cq(), db, (0,))
+
+
+def test_repeated_head_variable_constraint():
+    cq = ConjunctiveQuery(Atom("Q", (X, X)), (Atom("E", (X, X)),))
+    db = Database.from_edges([(0, 0), (0, 1)])
+    assert cq_valuations(cq, db, (0, 0)) == [(Fact("E", (0, 0)),)]
+    assert cq_valuations(cq, db, (0, 1)) == []
+
+
+def test_constant_in_head():
+    cq = ConjunctiveQuery(Atom("Q", (X, Constant(5))), (Atom("E", (X, Constant(5))),))
+    db = Database.from_edges([(0, 5), (0, 6)])
+    assert cq_valuations(cq, db, (0, 5)) == [(Fact("E", (0, 5)),)]
+    assert cq_valuations(cq, db, (0, 6)) == []
+
+
+def test_ucq_circuit_counts_derivations():
+    # diamond: two paths 0→2.
+    db = Database.from_edges([(0, 1), (1, 2), (0, 3), (3, 2)])
+    circuit = ucq_circuit(path2_cq(), db, (0, 2))
+    assert evaluate(circuit, COUNTING, lambda f: 1) == 2
+
+
+def test_ucq_circuit_logarithmic_depth():
+    # A star with many middle vertices: many monomials, depth stays log.
+    edges = [(0, i) for i in range(1, 40)] + [(i, 99) for i in range(1, 40)]
+    db = Database.from_edges(edges)
+    circuit = ucq_circuit(path2_cq(), db, (0, 99))
+    monomials = 39
+    assert circuit.depth <= math.ceil(math.log2(monomials)) + 2
+
+
+def test_ucq_formula_mode():
+    db = Database.from_edges([(0, 1), (1, 2), (0, 3), (3, 2)])
+    formula = ucq_circuit(path2_cq(), db, (0, 2), as_formula=True)
+    assert formula.is_formula()
+    circuit = ucq_circuit(path2_cq(), db, (0, 2))
+    assert canonical_polynomial(formula) == canonical_polynomial(circuit)
+
+
+def test_union_of_cqs_deduplicates_monomials():
+    db = Database.from_edges([(0, 1), (1, 2)])
+    # The same CQ twice: monomials must not double up (Sorp would hide
+    # it, but counting evaluation would reveal the duplicate).
+    circuit = ucq_circuit([path2_cq(), path2_cq()], db, (0, 2))
+    assert evaluate(circuit, COUNTING, lambda f: 1) == 1
+
+
+def test_triangle_provenance_tropical():
+    db = Database.from_edges([(0, 1), (1, 2), (2, 0), (0, 2)])
+    weights = {f: 2.0 for f in db.facts()}
+    circuit = ucq_circuit(triangle_cq(), db, (0,))
+    assert evaluate(circuit, TROPICAL, weights) == 6.0
+
+
+def test_no_valuations_gives_zero():
+    db = Database.from_edges([(0, 1)])
+    circuit = ucq_circuit(triangle_cq(), db, (0,))
+    assert canonical_polynomial(circuit).is_zero()

@@ -1,0 +1,86 @@
+"""Annotated databases."""
+
+from repro.datalog import Database, Fact
+from repro.semirings import TROPICAL
+
+
+def test_add_and_contains():
+    db = Database()
+    fact = db.add("E", 1, 2)
+    assert fact == Fact("E", (1, 2))
+    assert fact in db
+    assert Fact("E", (2, 1)) not in db
+
+
+def test_size_is_total_fact_count():
+    db = Database.from_edges([(1, 2), (2, 3)])
+    db.add("A", 1)
+    assert len(db) == 3
+    assert db.size == 3
+
+
+def test_active_domain():
+    db = Database.from_edges([(1, 2), (2, 3)])
+    db.add("A", "x")
+    assert db.active_domain() == {1, 2, 3, "x"}
+
+
+def test_facts_iteration_sorted_and_filtered():
+    db = Database.from_edges([(2, 3), (1, 2)])
+    db.add("A", 9)
+    all_facts = list(db.facts())
+    assert len(all_facts) == 3
+    e_facts = list(db.facts("E"))
+    assert all(f.predicate == "E" for f in e_facts)
+
+
+def test_duplicate_insert_is_idempotent():
+    db = Database()
+    db.add("E", 1, 2)
+    db.add("E", 1, 2)
+    assert len(db) == 1
+
+
+def test_weights_and_valuation():
+    db = Database()
+    f1 = db.add("E", 1, 2, weight=5.0)
+    f2 = db.add("E", 2, 3)
+    valuation = db.valuation(TROPICAL)
+    assert valuation[f1] == 5.0
+    assert valuation[f2] == TROPICAL.one  # default 1 = 0.0
+
+
+def test_set_weight_checks_membership():
+    db = Database()
+    fact = db.add("E", 1, 2)
+    db.set_weight(fact, 7.0)
+    assert db.weight(fact) == 7.0
+    import pytest
+
+    with pytest.raises(KeyError):
+        db.set_weight(Fact("E", (9, 9)), 1.0)
+
+
+def test_from_labeled_edges():
+    db = Database.from_labeled_edges([(0, "a", 1), (1, "b", 2)])
+    assert db.predicates() == {"a", "b"}
+    assert Fact("a", (0, 1)) in db
+
+
+def test_copy_is_independent():
+    db = Database.from_edges([(1, 2)])
+    db.set_weight(Fact("E", (1, 2)), 3.0)
+    clone = db.copy()
+    clone.add("E", 5, 6)
+    assert len(db) == 1
+    assert clone.weight(Fact("E", (1, 2))) == 3.0
+
+
+def test_tuples_view():
+    db = Database.from_edges([(1, 2), (3, 4)])
+    assert db.tuples("E") == {(1, 2), (3, 4)}
+    assert db.tuples("missing") == frozenset()
+
+
+def test_repr():
+    assert "E:2" in repr(Database.from_edges([(1, 2), (2, 3)]))

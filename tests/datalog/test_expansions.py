@@ -1,0 +1,105 @@
+"""CQ expansions of linear programs (Example 4.4, Theorem 4.5)."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    DatalogError,
+    Variable,
+    canonical_database,
+    dyck1,
+    expansion_of_word,
+    expansion_words,
+    expansions,
+    expansions_up_to,
+    reachability,
+    transitive_closure,
+    unify_atoms,
+)
+
+
+def test_unify_atoms_basic():
+    X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+    theta = unify_atoms(Atom("E", (X, Y)), Atom("E", (Z, Z)))
+    assert theta is not None
+    resolved = Atom("E", (X, Y)).substitute(
+        {v: (t if not isinstance(t, Variable) else t) for v, t in theta.items()}
+    )
+    # X and Y both unify with Z (transitively equal)
+
+
+def test_unify_atoms_clash():
+    from repro.datalog import Constant
+
+    a = Atom("E", (Constant(1),))
+    b = Atom("E", (Constant(2),))
+    assert unify_atoms(a, b) is None
+    assert unify_atoms(Atom("E", (Constant(1),)), Atom("R", (Constant(1),))) is None
+
+
+def test_tc_expansions_are_paths():
+    # Example 4.4: Cᵢ is the path CQ with i+1 edges.
+    tc = transitive_closure()
+    for steps in range(4):
+        group = expansions(tc, steps)
+        assert len(group) == 1
+        cq = group[0]
+        assert len(cq.body) == steps + 1
+        assert all(atom.predicate == "E" for atom in cq.body)
+        # the body must form a connected chain from head X0 to X1
+        assert cq.head.predicate == "T"
+
+
+def test_expansion_words_shape():
+    tc = transitive_closure()
+    words = list(expansion_words(tc, 2))
+    assert words == [(1, 1, 0)]  # two recursive applications then init
+
+
+def test_reachability_expansions():
+    program = reachability()
+    group = expansions(program, 2)
+    assert len(group) == 1
+    cq = group[0]
+    predicates = sorted(a.predicate for a in cq.body)
+    assert predicates == ["A", "E", "E"]
+
+
+def test_expansions_up_to():
+    groups = expansions_up_to(transitive_closure(), 3)
+    assert [len(g) for g in groups] == [1, 1, 1, 1]
+
+
+def test_expansion_invalid_word_rejected():
+    tc = transitive_closure()
+    with pytest.raises(DatalogError):
+        expansion_of_word(tc, (0, 0))  # init rule cannot be mid-word
+    with pytest.raises(DatalogError):
+        expansion_of_word(tc, (1,))  # recursive rule cannot end a word
+
+
+def test_expansions_require_linear_program():
+    with pytest.raises(DatalogError):
+        expansions(dyck1(), 1)
+
+
+def test_canonical_database():
+    tc = transitive_closure()
+    cq = expansions(tc, 1)[0]  # E(X0,Z), E(Z,X1)
+    db, mapping = canonical_database(cq)
+    assert len(db) == 2
+    assert len(mapping) == len(cq.variables)
+    # the canonical database satisfies the CQ by construction: freeze
+    # head vars and check the path exists
+    tuples = db.tuples("E")
+    assert len(tuples) == 2
+
+
+def test_expansion_variables_fresh_per_step():
+    tc = transitive_closure()
+    cq = expansions(tc, 3)[0]
+    # 5 edges → 5 distinct join variables + 2 head vars... body is a
+    # 4-edge path with 3 internal variables; all distinct.
+    variables = cq.variables
+    assert len(variables) == len(set(variables))
+    assert len(cq.body) == 4

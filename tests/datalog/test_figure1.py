@@ -1,0 +1,72 @@
+"""Exact reproduction of Figure 1 and its provenance polynomial.
+
+The paper's Figure 1 gives a 7-edge EDB, shows one of the three proof
+trees of ``T(s, t)``, and Section 2.4 spells out the polynomial::
+
+    p = (x_{s,u1} ⊗ x_{u1,v1} ⊗ x_{v1,t})
+      ⊕ (x_{s,u1} ⊗ x_{u1,v2} ⊗ x_{v2,t})
+      ⊕ (x_{s,u2} ⊗ x_{u2,v2} ⊗ x_{v2,t})
+
+These tests pin that artifact exactly.
+"""
+
+from repro.circuits import canonical_polynomial
+from repro.constructions import bellman_ford_circuit, generic_circuit
+from repro.datalog import (
+    Fact,
+    count_tight_proof_trees,
+    provenance_by_proof_trees,
+    relevant_grounding,
+)
+from repro.semirings import Monomial, Polynomial, TROPICAL
+
+
+def expected_polynomial() -> Polynomial:
+    def mono(*pairs):
+        return Monomial({Fact("E", pair): 1 for pair in pairs})
+
+    return Polynomial(
+        [
+            mono(("s", "u1"), ("u1", "v1"), ("v1", "t")),
+            mono(("s", "u1"), ("u1", "v2"), ("v2", "t")),
+            mono(("s", "u2"), ("u2", "v2"), ("v2", "t")),
+        ]
+    )
+
+
+def test_figure1_polynomial_by_proof_trees(figure1_db, figure1_fact, tc_program):
+    poly = provenance_by_proof_trees(tc_program, figure1_db, figure1_fact)
+    assert poly == expected_polynomial()
+
+
+def test_figure1_exactly_three_proof_trees(figure1_db, figure1_fact, tc_program):
+    ground = relevant_grounding(tc_program, figure1_db)
+    assert count_tight_proof_trees(ground, figure1_fact) == 3
+
+
+def test_figure1_polynomial_by_circuit(figure1_db, figure1_fact, tc_program):
+    circuit = generic_circuit(tc_program, figure1_db, figure1_fact)
+    assert canonical_polynomial(circuit) == expected_polynomial()
+
+
+def test_figure1_tropical_value_is_three(figure1_db, tc_program):
+    # Unit edge weights: every s–t path has length 3.
+    weights = {fact: 1.0 for fact in figure1_db.facts()}
+    circuit = bellman_ford_circuit(figure1_db, "s", "t")
+    from repro.circuits import evaluate
+
+    assert evaluate(circuit, TROPICAL, weights) == 3.0
+
+
+def test_figure1_proof_tree_of_the_paper(figure1_db, figure1_fact, tc_program):
+    # The tree drawn in Figure 1c: T(s,t) via T(s,v1) via T(s,u1).
+    from repro.datalog import enumerate_tight_proof_trees
+
+    ground = relevant_grounding(tc_program, figure1_db)
+    leaves_of_paper_tree = sorted(["E(s,u1)", "E(u1,v1)", "E(v1,t)"])
+    found = False
+    for tree in enumerate_tight_proof_trees(ground, figure1_fact):
+        if sorted(map(repr, tree.leaves())) == leaves_of_paper_tree:
+            found = True
+            assert tree.height() == 3
+    assert found

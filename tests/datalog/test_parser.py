@@ -1,0 +1,120 @@
+"""The Datalog surface-syntax parser."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Constant,
+    ParseError,
+    Variable,
+    parse_atom,
+    parse_program,
+    parse_rule,
+)
+
+
+def test_parse_tc():
+    program = parse_program(
+        """
+        T(X, Y) :- E(X, Y).
+        T(X, Y) :- T(X, Z), E(Z, Y).
+        """
+    )
+    assert program.target == "T"
+    assert program.is_basic_chain()
+    assert len(program.rules) == 2
+
+
+def test_parse_atom_terms():
+    atom = parse_atom("R(X, abc, 42, 'hello world')")
+    assert atom.terms == (
+        Variable("X"),
+        Constant("abc"),
+        Constant(42),
+        Constant("hello world"),
+    )
+
+
+def test_variables_start_uppercase_or_underscore():
+    atom = parse_atom("R(Xvar, _anon, lower)")
+    assert isinstance(atom.terms[0], Variable)
+    assert isinstance(atom.terms[1], Variable)
+    assert isinstance(atom.terms[2], Constant)
+
+
+def test_negative_numbers():
+    atom = parse_atom("R(-5)")
+    assert atom.terms == (Constant(-5),)
+
+
+def test_comments_and_whitespace():
+    program = parse_program(
+        """
+        % transitive closure
+        T(X, Y) :- E(X, Y).   # init
+        T(X, Y) :- T(X, Z), E(Z, Y).
+        """
+    )
+    assert len(program.rules) == 2
+
+
+def test_double_quoted_strings():
+    atom = parse_atom('R("a b")')
+    assert atom.terms == (Constant("a b"),)
+
+
+def test_explicit_target():
+    program = parse_program(
+        """
+        A(X) :- B(X).
+        B(X) :- R(X).
+        """,
+        target="B",
+    )
+    assert program.target == "B"
+
+
+def test_missing_dot_fails():
+    with pytest.raises(ParseError):
+        parse_rule("T(X, Y) :- E(X, Y)")
+
+
+def test_missing_implies_fails():
+    with pytest.raises(ParseError):
+        parse_rule("T(X, Y) E(X, Y).")
+
+
+def test_unbalanced_parens_fail():
+    with pytest.raises(ParseError):
+        parse_atom("R(X")
+
+
+def test_unexpected_character_fails():
+    with pytest.raises(ParseError):
+        parse_program("T(X) :- E(X) & F(X).")
+
+
+def test_empty_program_fails():
+    with pytest.raises(ParseError):
+        parse_program("   % nothing here\n")
+
+
+def test_trailing_garbage_fails():
+    with pytest.raises(ParseError):
+        parse_atom("R(X) extra")
+    with pytest.raises(ParseError):
+        parse_rule("T(X) :- E(X). extra")
+
+
+def test_parsed_program_equals_library_program():
+    from repro.datalog import transitive_closure
+
+    parsed = parse_program(
+        "T(X, Y) :- E(X, Y).\nT(X, Y) :- T(X, Z), E(Z, Y)."
+    )
+    assert parsed.rules == transitive_closure().rules
+
+
+def test_parse_rule_with_constants_in_head_is_safe_check():
+    rule = parse_rule("Good(X) :- R(X, done).")
+    assert rule.is_safe()

@@ -1,0 +1,183 @@
+"""CFGs: cleaning, finiteness (Prop 5.5's test), pumping, membership."""
+
+import pytest
+
+from repro.grammars import CFG, GrammarError, Production, pumping_decomposition
+
+
+def anbn():
+    return CFG.from_rules("S -> a S b | a b", start="S")
+
+
+def dyck():
+    return CFG.from_rules("S -> l r | l S r | S S", start="S")
+
+
+def test_from_rules_classifies_symbols():
+    g = anbn()
+    assert g.nonterminals == {"S"}
+    assert g.terminals == {"a", "b"}
+    assert len(g.productions) == 2
+
+
+def test_validation_rejects_unknown_symbols():
+    with pytest.raises(GrammarError):
+        CFG({"S"}, {"a"}, [("S", ("a", "X"))], "S")
+    with pytest.raises(GrammarError):
+        CFG({"S"}, {"a"}, [("T", ("a",))], "S")
+    with pytest.raises(GrammarError):
+        CFG({"S"}, {"S"}, [], "S")  # overlap
+    with pytest.raises(GrammarError):
+        CFG({"S"}, {"a"}, [], "T")  # bad start
+
+
+def test_generating_and_reachable():
+    g = CFG.from_rules(
+        """
+        S -> a | B c
+        B -> B c
+        D -> a
+        """,
+        start="S",
+    )
+    generating = g.generating_symbols()
+    assert "S" in generating and "D" in generating
+    assert "B" not in generating  # B never terminates
+    reachable = g.reachable_symbols()
+    assert "D" not in reachable
+
+
+def test_trim_preserves_words():
+    g = CFG.from_rules(
+        """
+        S -> a | B c
+        B -> B c
+        D -> a
+        """,
+        start="S",
+    )
+    trimmed = g.trim()
+    assert trimmed.generate_words(3) == g.generate_words(3)
+    assert "B" not in trimmed.nonterminals
+    assert "D" not in trimmed.nonterminals
+
+
+def test_is_empty():
+    g = CFG.from_rules("S -> S a", start="S")
+    assert g.is_empty()
+    assert not anbn().is_empty()
+
+
+def test_nullable_and_epsilon_removal():
+    g = CFG.from_rules("S -> a S | eps", start="S")
+    assert "S" in g.nullable_nonterminals()
+    cleaned = g.remove_epsilon()
+    words = cleaned.generate_words(3)
+    # ε removed; a, aa, aaa kept
+    assert ("a",) in words and ("a", "a") in words
+    assert () not in words
+
+
+def test_unit_removal_preserves_language():
+    g = CFG.from_rules(
+        """
+        S -> A
+        A -> B | a
+        B -> b
+        """,
+        start="S",
+    )
+    cleaned = g.remove_units()
+    assert cleaned.generate_words(2) == {("a",), ("b",)}
+    for production in cleaned.productions:
+        assert not (
+            len(production.rhs) == 1 and production.rhs[0] in cleaned.nonterminals
+        )
+
+
+def test_finiteness_decision():
+    assert not anbn().is_finite()
+    assert not dyck().is_finite()
+    assert CFG.from_rules("S -> a b | a c", start="S").is_finite()
+    assert CFG.from_rules("S -> A A\nA -> a | b", start="S").is_finite()
+
+
+def test_finiteness_ignores_useless_cycles():
+    # The B-cycle never generates; the language {a} is finite.
+    g = CFG.from_rules(
+        """
+        S -> a | B
+        B -> B b
+        """,
+        start="S",
+    )
+    assert g.is_finite()
+
+
+def test_finiteness_epsilon_cycle_trap():
+    # A → A via unit/ε combinations must not count as pumping.
+    g = CFG.from_rules(
+        """
+        S -> A a
+        A -> A | eps
+        """,
+        start="S",
+    )
+    assert g.is_finite()
+    assert g.generate_words(2) == {("a",)}
+
+
+def test_generate_words_matches_membership():
+    g = dyck()
+    words = g.generate_words(4)
+    assert ("l", "r") in words
+    assert ("l", "l", "r", "r") in words
+    assert ("l", "r", "l", "r") in words
+    for word in words:
+        assert g.accepts(word), word
+    assert not g.accepts(("l",))
+    assert not g.accepts(("r", "l"))
+
+
+def test_cnf_membership_against_generation():
+    g = anbn()
+    for n in range(1, 4):
+        assert g.accepts(("a",) * n + ("b",) * n)
+        assert not g.accepts(("a",) * n + ("b",) * (n + 1))
+
+
+def test_accepts_epsilon_only_when_nullable():
+    g = CFG.from_rules("S -> a S | eps", start="S")
+    assert g.accepts(())
+    assert not anbn().accepts(())
+
+
+def test_binarized_bodies_are_short():
+    g = CFG.from_rules("S -> a b c d e", start="S")
+    binary = g.binarized()
+    assert all(len(p.rhs) <= 2 for p in binary.productions)
+    assert binary.generate_words(5) == g.generate_words(5)
+
+
+def test_pumping_decomposition_validity():
+    for grammar in (anbn(), dyck()):
+        decomposition = pumping_decomposition(grammar)
+        assert decomposition is not None
+        assert len(decomposition.v) + len(decomposition.x) >= 1
+        for i in range(4):
+            assert grammar.accepts(decomposition.pumped(i)), (grammar, i)
+
+
+def test_pumping_none_for_finite():
+    assert pumping_decomposition(CFG.from_rules("S -> a b", start="S")) is None
+
+
+def test_shortest_terminal_words():
+    g = dyck()
+    shortest = g.shortest_terminal_words()
+    assert shortest["S"] == ("l", "r")
+
+
+def test_production_repr():
+    assert "ε" in repr(Production("S", ()))
+    assert "S → a b" == repr(Production("S", ("a", "b")))

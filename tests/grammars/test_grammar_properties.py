@@ -1,0 +1,126 @@
+"""Hypothesis properties for the grammar/automata substrate."""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammars import (
+    CFG,
+    ConcatRegex,
+    EpsilonRegex,
+    Regex,
+    StarRegex,
+    SymbolRegex,
+    UnionRegex,
+    pumping_decomposition,
+    regular_pumping_witness,
+)
+
+ALPHABET = "ab"
+
+
+def random_regex(rng: random.Random, depth: int) -> Regex:
+    if depth <= 0:
+        return SymbolRegex(rng.choice(ALPHABET))
+    kind = rng.randrange(4)
+    if kind == 0:
+        return SymbolRegex(rng.choice(ALPHABET))
+    if kind == 1:
+        return ConcatRegex(random_regex(rng, depth - 1), random_regex(rng, depth - 1))
+    if kind == 2:
+        return UnionRegex(random_regex(rng, depth - 1), random_regex(rng, depth - 1))
+    return StarRegex(random_regex(rng, depth - 1))
+
+
+def words_up_to(max_len: int):
+    for length in range(max_len + 1):
+        yield from itertools.product(ALPHABET, repeat=length)
+
+
+@given(seed=st.integers(0, 10_000), depth=st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_nfa_and_minimized_dfa_agree(seed, depth):
+    regex = random_regex(random.Random(seed), depth)
+    nfa = regex.to_nfa()
+    dfa = regex.to_dfa()  # subset construction + minimization
+    for word in words_up_to(4):
+        assert nfa.accepts_word(word) == dfa.accepts_word(word), (regex, word)
+
+
+@given(seed=st.integers(0, 10_000), depth=st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_finiteness_agrees_with_enumeration(seed, depth):
+    regex = random_regex(random.Random(seed), depth)
+    dfa = regex.to_dfa()
+    if dfa.is_finite():
+        bound = dfa.longest_word_length()
+        # no accepted word longer than the computed longest
+        for word in words_up_to(min(bound + 2, 6)):
+            if len(word) > bound:
+                assert not dfa.accepts_word(word)
+    else:
+        witness = regular_pumping_witness(dfa)
+        assert witness is not None
+        for i in range(3):
+            assert dfa.accepts_word(witness.pumped(i))
+
+
+@given(seed=st.integers(0, 10_000), depth=st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_enumerated_words_are_accepted(seed, depth):
+    regex = random_regex(random.Random(seed), depth)
+    dfa = regex.to_dfa()
+    for word in dfa.enumerate_words(4):
+        assert dfa.accepts_word(word)
+
+
+def random_cfg(rng: random.Random) -> CFG:
+    """A small random grammar over nonterminals {S, A} / terminals {a, b}."""
+    nonterminals = ["S", "A"]
+    symbols = nonterminals + list(ALPHABET)
+    productions = []
+    for lhs in nonterminals:
+        for _ in range(rng.randint(1, 3)):
+            rhs = tuple(rng.choice(symbols) for _ in range(rng.randint(1, 3)))
+            productions.append((lhs, rhs))
+    # Ensure S has at least one all-terminal production half the time,
+    # otherwise grammars are frequently empty (still a valid case).
+    if rng.random() < 0.5:
+        productions.append(("S", tuple(rng.choice(ALPHABET) for _ in range(rng.randint(1, 2)))))
+    return CFG(nonterminals, ALPHABET, productions, "S")
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_cfg_generated_words_pass_membership(seed):
+    grammar = random_cfg(random.Random(seed))
+    for word in grammar.generate_words(4):
+        assert grammar.accepts(word), (grammar, word)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_cfg_finiteness_vs_word_growth(seed):
+    grammar = random_cfg(random.Random(seed))
+    if grammar.is_empty():
+        assert grammar.is_finite()
+        assert grammar.generate_words(4) <= {()}
+        return
+    if grammar.is_finite():
+        assert pumping_decomposition(grammar) is None
+    else:
+        decomposition = pumping_decomposition(grammar)
+        assert decomposition is not None
+        for i in range(3):
+            assert grammar.accepts(decomposition.pumped(i)), (grammar, i)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_cfg_normalization_preserves_short_words(seed):
+    grammar = random_cfg(random.Random(seed))
+    raw_words = {w for w in grammar.generate_words(3) if w}
+    normalized_words = {w for w in grammar.normalized().generate_words(3) if w}
+    assert raw_words == normalized_words

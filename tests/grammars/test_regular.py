@@ -1,0 +1,129 @@
+"""Regexes, NFAs, DFAs: construction, minimization, finiteness, pumping."""
+
+import itertools
+
+import pytest
+
+from repro.grammars import (
+    EpsilonRegex,
+    SymbolRegex,
+    parse_regex,
+    regular_pumping_witness,
+)
+
+
+def words_up_to(alphabet, max_len):
+    for length in range(max_len + 1):
+        yield from itertools.product(alphabet, repeat=length)
+
+
+def brute_force_language(dfa, alphabet, max_len):
+    return {w for w in words_up_to(alphabet, max_len) if dfa.accepts_word(w)}
+
+
+@pytest.mark.parametrize(
+    "pattern,inside,outside",
+    [
+        ("ab", ["ab"], ["a", "b", "ba", "abb"]),
+        ("a*", ["", "a", "aaa"], ["b", "ab"]),
+        ("a|b", ["a", "b"], ["", "ab"]),
+        ("a(b|c)*d", ["ad", "abd", "acbd"], ["a", "d", "abc"]),
+        ("(ab)+", ["ab", "abab"], ["", "a", "aba"]),
+        ("ab?c", ["ac", "abc"], ["abbc", "c"]),
+    ],
+)
+def test_regex_nfa_dfa_agree(pattern, inside, outside):
+    regex = parse_regex(pattern)
+    nfa = regex.to_nfa()
+    dfa = regex.to_dfa()
+    for word in inside:
+        assert nfa.accepts_word(tuple(word)), word
+        assert dfa.accepts_word(tuple(word)), word
+    for word in outside:
+        assert not nfa.accepts_word(tuple(word)), word
+        assert not dfa.accepts_word(tuple(word)), word
+
+
+def test_parse_errors():
+    with pytest.raises(ValueError):
+        parse_regex("a(b")
+    with pytest.raises(ValueError):
+        parse_regex("*a")
+    with pytest.raises(ValueError):
+        parse_regex("a)b")
+
+
+def test_epsilon_and_symbol_combinators():
+    regex = SymbolRegex("x") + (SymbolRegex("y") | EpsilonRegex())
+    dfa = regex.to_dfa()
+    assert dfa.accepts_word(("x",))
+    assert dfa.accepts_word(("x", "y"))
+    assert not dfa.accepts_word(("y",))
+
+
+def test_minimization_preserves_language():
+    regex = parse_regex("(a|b)*abb")
+    big = regex.to_nfa().to_dfa()
+    small = big.minimized()
+    assert small.num_states <= big.num_states
+    assert brute_force_language(small, "ab", 6) == brute_force_language(big, "ab", 6)
+
+
+def test_minimization_reaches_canonical_size():
+    # (a|b)*abb has a canonical 4-state minimal DFA.
+    dfa = parse_regex("(a|b)*abb").to_dfa()
+    assert dfa.num_states == 4
+
+
+def test_finiteness():
+    assert parse_regex("ab|ac").to_dfa().is_finite()
+    assert not parse_regex("a*").to_dfa().is_finite()
+    assert not parse_regex("a(b|c)*d").to_dfa().is_finite()
+    assert parse_regex("(a|b)(a|b)").to_dfa().is_finite()
+
+
+def test_longest_word_length():
+    assert parse_regex("ab|abc").to_dfa().longest_word_length() == 3
+    assert parse_regex("a?b?").to_dfa().longest_word_length() == 2
+    with pytest.raises(ValueError):
+        parse_regex("a*").to_dfa().longest_word_length()
+
+
+def test_enumerate_words():
+    dfa = parse_regex("a?b").to_dfa()
+    assert dfa.enumerate_words(3) == {("b",), ("a", "b")}
+
+
+def test_empty_language():
+    from repro.grammars import EmptyRegex
+
+    dfa = EmptyRegex().to_dfa()
+    assert dfa.is_empty()
+    assert dfa.is_finite()
+
+
+def test_pumping_witness_validity():
+    for pattern in ("a*", "(ab)+", "a(b|c)*d", "(a|b)*abb"):
+        dfa = parse_regex(pattern).to_dfa()
+        witness = regular_pumping_witness(dfa)
+        assert witness is not None, pattern
+        assert len(witness.y) >= 1
+        for i in range(4):
+            assert dfa.accepts_word(witness.pumped(i)), (pattern, i)
+
+
+def test_pumping_witness_none_for_finite():
+    assert regular_pumping_witness(parse_regex("ab|ac").to_dfa()) is None
+
+
+def test_trim_and_coaccessible():
+    dfa = parse_regex("ab").to_dfa()
+    live = dfa.trim_states()
+    assert dfa.start in live
+    assert live <= dfa.reachable_states()
+
+
+def test_dfa_partiality_rejects_unknown_paths():
+    dfa = parse_regex("ab").to_dfa()
+    assert not dfa.accepts_word(("b", "a"))
+    assert dfa.step(dfa.start, "z") is None

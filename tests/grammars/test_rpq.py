@@ -1,0 +1,82 @@
+"""RPQ evaluation via the DFA product construction."""
+
+import itertools
+
+from repro.datalog import Fact
+from repro.grammars import parse_regex, product_graph, rpq_pairs, solve_rpq
+from repro.semirings import BOOLEAN, TROPICAL
+
+
+def brute_force_rpq(dfa, edges, max_len=7):
+    out_edges = {}
+    for u, a, v in edges:
+        out_edges.setdefault(u, []).append((a, v))
+    vertices = {u for u, _, _ in edges} | {v for _, _, v in edges}
+    pairs = set()
+
+    def walk(origin, current, word):
+        if len(word) > max_len:
+            return
+        if word and dfa.accepts_word(tuple(word)):
+            pairs.add((origin, current))
+        for a, v in out_edges.get(current, ()):
+            walk(origin, v, word + [a])
+
+    for u in sorted(vertices, key=repr):
+        walk(u, u, [])
+    return frozenset(pairs)
+
+
+def test_product_graph_size_and_origin():
+    dfa = parse_regex("ab").to_dfa()
+    edges = [(0, "a", 1), (1, "b", 2)]
+    product = product_graph(edges, dfa)
+    assert product.size >= 2
+    for fact, origin in product.edge_origin.items():
+        assert origin.predicate in ("a", "b")
+        (u, _qu), (v, _qv) = fact.args
+        assert origin.args == (u, v)
+
+
+def test_rpq_pairs_matches_brute_force():
+    import random
+
+    dfa = parse_regex("a(b|c)*").to_dfa()
+    for seed in range(4):
+        rng = random.Random(seed)
+        edges = []
+        for _ in range(10):
+            u, v = rng.sample(range(5), 2)
+            edges.append((u, rng.choice("abc"), v))
+        edges = list(dict.fromkeys(edges))
+        got = rpq_pairs(edges, dfa)
+        expected = brute_force_rpq(dfa, edges, max_len=6)
+        assert expected <= got, (seed, expected - got)
+
+
+def test_rpq_tropical_weights():
+    dfa = parse_regex("ab*").to_dfa()
+    edges = [(0, "a", 1), (1, "b", 2), (2, "b", 3), (0, "a", 3)]
+    weights = {
+        Fact("a", (0, 1)): 1.0,
+        Fact("b", (1, 2)): 1.0,
+        Fact("b", (2, 3)): 1.0,
+        Fact("a", (0, 3)): 10.0,
+    }
+    values = solve_rpq(edges, dfa, TROPICAL, weights=weights)
+    assert values[(0, 3)] == 3.0  # path a b b beats direct a of weight 10
+
+
+def test_rpq_excludes_epsilon_words():
+    dfa = parse_regex("a*").to_dfa()  # ε ∈ L
+    edges = [(0, "a", 1)]
+    pairs = rpq_pairs(edges, dfa)
+    assert (0, 0) not in pairs  # ε-path excluded by convention
+    assert (0, 1) in pairs
+
+
+def test_rpq_cycles():
+    dfa = parse_regex("(ab)+").to_dfa()
+    edges = [(0, "a", 1), (1, "b", 0)]
+    pairs = rpq_pairs(edges, dfa)
+    assert (0, 0) in pairs  # abab... closed walks accepted

@@ -1,0 +1,166 @@
+"""End-to-end integration tests tying whole theorem pipelines together."""
+
+import math
+
+import pytest
+
+from repro.boundedness import analyze_boundedness, chain_program_boundedness
+from repro.circuits import (
+    balance_formula,
+    canonical_polynomial,
+    circuit_to_formula,
+    evaluate,
+    evaluate_boolean,
+    formula_depth_bound,
+)
+from repro.constructions import (
+    bellman_ford_circuit,
+    bounded_circuit,
+    finite_rpq_circuit,
+    fringe_circuit,
+    generic_circuit,
+    squaring_circuit,
+)
+from repro.datalog import Database, Fact, naive_evaluation, transitive_closure
+from repro.grammars import chain_program_to_cfg, parse_regex, rpq_program
+from repro.semirings import BOOLEAN, TROPICAL, VITERBI, positivity_homomorphism
+from repro.workloads import path_graph, random_digraph, random_weights
+
+TC = transitive_closure()
+
+
+def test_theorem_5_3_dichotomy_pipeline():
+    """Theorem 5.3: finite RPQ → Θ(log) depth; infinite → TC-like depth.
+
+    The decision procedure (DFA finiteness) routes each RPQ to the
+    right construction, and the measured depths separate.
+    """
+    finite_dfa = parse_regex("abc").to_dfa()
+    infinite_dfa = parse_regex("a*b").to_dfa()
+    assert finite_dfa.is_finite()
+    assert not infinite_dfa.is_finite()
+
+    finite_depths = []
+    infinite_depths = []
+    for n in (8, 16, 32):
+        edges = [(i, "a", i + 1) for i in range(n)]
+        edges += [(i, "b", i + 1) for i in range(n)]
+        edges += [(i, "c", i + 1) for i in range(n)]
+        finite_depths.append(finite_rpq_circuit(edges, finite_dfa, 0, 3).depth)
+        from repro.reductions import rpq_circuit_via_tc
+
+        infinite_depths.append(
+            rpq_circuit_via_tc(edges, infinite_dfa, 0, n, tc_builder=squaring_circuit).depth
+        )
+    # finite side: flat-ish (log growth at most)
+    assert finite_depths[-1] - finite_depths[0] <= 6
+    # infinite side grows like log² (strictly increasing here)
+    assert infinite_depths[0] < infinite_depths[-1]
+
+
+def test_proposition_3_3_and_theorem_3_2_roundtrip():
+    """Bounded program circuit → formula (Prop 3.3) → balanced formula
+    (Thm 3.2) with equivalence preserved and depth O(log size)."""
+    from repro.datalog import bounded_example
+
+    program = bounded_example()
+    db = path_graph(6)
+    db.add("A", 0)
+    db.add("A", 1)
+    fact = Fact("T", (0, 4))
+    circuit = bounded_circuit(program, db, bound=2, facts=fact)
+    formula = circuit_to_formula(circuit)
+    assert formula.is_formula()
+    balanced = balance_formula(formula)
+    assert balanced.is_formula()
+    assert canonical_polynomial(balanced) == canonical_polynomial(circuit)
+    assert balanced.depth <= formula_depth_bound(formula.size)
+
+
+def test_proposition_3_6_transfer():
+    """Positivity transfer: a circuit over tropical, reinterpreted over
+    B through the support homomorphism, decides reachability."""
+    db = random_digraph(7, 14, seed=21)
+    weights = random_weights(db, seed=21)
+    hom = positivity_homomorphism(TROPICAL)
+    circuit = bellman_ford_circuit(db, 0, 6)
+    tropical_value = evaluate(circuit, TROPICAL, weights)
+    boolean_value = evaluate_boolean(circuit, set(db.facts()))
+    assert hom(tropical_value) == boolean_value
+
+
+def test_theorem_3_1_vs_5_6_vs_5_7_vs_6_2_agree():
+    """All four TC constructions compute the same polynomial."""
+    db = random_digraph(6, 12, seed=8)
+    fact = Fact("T", (0, 5))
+    polys = [
+        canonical_polynomial(generic_circuit(TC, db, fact)),
+        canonical_polynomial(bellman_ford_circuit(db, 0, 5)),
+        canonical_polynomial(squaring_circuit(db, 0, 5)),
+        canonical_polynomial(fringe_circuit(TC, db, fact)),
+    ]
+    assert polys.count(polys[0]) == 4
+
+
+def test_proposition_5_5_end_to_end():
+    """Chain-program boundedness ⟺ grammar finiteness ⟺ iteration
+    profile on word paths."""
+    from repro.boundedness import empirical_iteration_probe
+
+    report = chain_program_boundedness(TC)
+    assert report.bounded is False
+    grammar = chain_program_to_cfg(TC)
+    assert not grammar.is_finite()
+    probe = empirical_iteration_probe(TC, path_graph, sizes=(4, 8, 12))
+    assert probe.bounded is False
+
+    finite_program, _ = rpq_program("ab|cd")
+    finite_report = chain_program_boundedness(finite_program)
+    assert finite_report.bounded is True
+    k = finite_report.certificate
+
+    def family(n):
+        edges = [(i, "a", i + 1) for i in range(n)] + [
+            (i, "b", i + 1) for i in range(n)
+        ]
+        return Database.from_labeled_edges(edges)
+
+    finite_probe = empirical_iteration_probe(finite_program, family, sizes=(4, 8, 12))
+    iteration_counts = [it for _n, it in finite_probe.evidence]
+    assert max(iteration_counts) <= k + 1
+
+
+def test_weighted_rpq_pipeline_viterbi():
+    """RPQ circuit evaluated under Viterbi equals fixpoint evaluation."""
+    from repro.grammars import solve_rpq
+    from repro.reductions import rpq_circuit_via_tc
+
+    dfa = parse_regex("a(b|c)*").to_dfa()
+    edges = [(0, "a", 1), (1, "b", 2), (2, "c", 3), (1, "c", 3)]
+    weights = {
+        Fact("a", (0, 1)): 0.9,
+        Fact("b", (1, 2)): 0.8,
+        Fact("c", (2, 3)): 0.7,
+        Fact("c", (1, 3)): 0.4,
+    }
+    expected = solve_rpq(edges, dfa, VITERBI, weights=weights)
+    circuit = rpq_circuit_via_tc(edges, dfa, 0, 3)
+    assert VITERBI.eq(evaluate(circuit, VITERBI, weights), expected[(0, 3)])
+
+
+def test_datalog_text_to_circuit_pipeline():
+    """Parse text → classify → pick a construction → validate."""
+    from repro.datalog import parse_program, provenance_by_proof_trees
+
+    program = parse_program(
+        """
+        Reach(X, Y) :- Edge(X, Y).
+        Reach(X, Y) :- Reach(X, Z), Edge(Z, Y).
+        """
+    )
+    assert program.is_basic_chain() and program.is_linear()
+    assert analyze_boundedness(program).bounded is False
+    db = Database.from_edges([(0, 1), (1, 2), (0, 2)], predicate="Edge")
+    fact = Fact("Reach", (0, 2))
+    circuit = generic_circuit(program, db, fact)
+    assert canonical_polynomial(circuit) == provenance_by_proof_trees(program, db, fact)

@@ -1,0 +1,78 @@
+"""Theorem 5.11: TC → unbounded chain Datalog on layered graphs."""
+
+import pytest
+
+from repro.circuits import canonical_polynomial
+from repro.constructions import generic_circuit
+from repro.datalog import Database, Fact, naive_evaluation, provenance_by_proof_trees, transitive_closure
+from repro.grammars import CFG, cfl_reachable_pairs, chain_program_for
+from repro.reductions import tc_to_cfg_instance, transfer_cfg_circuit_to_tc
+from repro.semirings import BOOLEAN
+from repro.workloads import layered_graph
+
+TC = transitive_closure()
+
+
+def anbn():
+    return CFG.from_rules("S -> a S b | a b", start="S")
+
+
+def test_rejects_finite_grammar():
+    finite = CFG.from_rules("S -> a b", start="S")
+    with pytest.raises(ValueError):
+        tc_to_cfg_instance([(0, 1)], 0, 1, finite, path_length=1)
+
+
+def test_rejects_bad_path_length():
+    with pytest.raises(ValueError):
+        tc_to_cfg_instance([(0, 1)], 0, 1, anbn(), path_length=0)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_instance_level_equivalence_on_layered_graphs(seed):
+    graph = layered_graph(2, 2, seed=seed)
+    instance = tc_to_cfg_instance(
+        graph.edges, graph.source, graph.sink, anbn(), path_length=graph.path_length
+    )
+    pairs = cfl_reachable_pairs(anbn(), instance.labeled_edges)
+    # layered graphs from the generator always connect s to t
+    assert (instance.source, instance.sink) in pairs
+
+
+def test_instance_negative_when_disconnected():
+    # A layered graph missing the middle connection.
+    edges = [("s", "a"), ("b", "t")]
+    instance = tc_to_cfg_instance(edges, "s", "t", anbn(), path_length=2)
+    pairs = cfl_reachable_pairs(anbn(), instance.labeled_edges)
+    assert (instance.source, instance.sink) not in pairs
+
+
+def test_circuit_transfer_preserves_provenance():
+    layered_edges = [("s", "a1"), ("s", "a2"), ("a1", "b1"), ("a2", "b1"), ("b1", "t")]
+    instance = tc_to_cfg_instance(layered_edges, "s", "t", anbn(), path_length=3)
+    program = chain_program_for(anbn())
+    instance_db = Database.from_labeled_edges(instance.labeled_edges)
+    cfg_circuit = generic_circuit(
+        program, instance_db, Fact(program.target, (instance.source, instance.sink))
+    )
+    tc_circuit = transfer_cfg_circuit_to_tc(instance, cfg_circuit)
+    reference = provenance_by_proof_trees(
+        TC, Database.from_edges(layered_edges), Fact("T", ("s", "t"))
+    )
+    assert canonical_polynomial(tc_circuit) == reference
+    assert tc_circuit.depth <= cfg_circuit.depth
+
+
+def test_dyck_grammar_reduction():
+    dyck = CFG.from_rules("S -> l r | l S r | S S", start="S")
+    layered_edges = [("s", "m"), ("m", "t")]
+    instance = tc_to_cfg_instance(layered_edges, "s", "t", dyck, path_length=2)
+    pairs = cfl_reachable_pairs(dyck, instance.labeled_edges)
+    assert (instance.source, instance.sink) in pairs
+
+
+def test_wire_map_tags_each_edge_once():
+    layered_edges = [("s", "a"), ("a", "t")]
+    instance = tc_to_cfg_instance(layered_edges, "s", "t", anbn(), path_length=2)
+    origins = [o for o in instance.wire_map.values() if o is not None]
+    assert sorted(o.args for o in origins) == [("a", "t"), ("s", "a")]

@@ -1,0 +1,60 @@
+"""The wire-rewiring transfer step shared by all reductions."""
+
+import pytest
+
+from repro.circuits import CircuitBuilder, canonical_polynomial, evaluate
+from repro.reductions import rewire_circuit
+from repro.semirings import Polynomial, TROPICAL
+
+
+def build():
+    b = CircuitBuilder(share=False)
+    out = b.add(b.mul(b.var("p"), b.var("q")), b.var("r"))
+    return b.build(out)
+
+
+def test_rewire_to_new_variables():
+    circuit = build()
+    rewired = rewire_circuit(circuit, {"p": "x", "q": "y", "r": "z"})
+    expected = Polynomial.variable("x") * Polynomial.variable("y") + Polynomial.variable("z")
+    assert canonical_polynomial(rewired) == expected
+
+
+def test_rewire_to_constant_one():
+    circuit = build()
+    rewired = rewire_circuit(circuit, {"p": "x", "q": None, "r": None})
+    # p⊗1 ⊕ 1 = x ⊕ 1 = 1 over absorptive semirings.
+    assert canonical_polynomial(rewired) == Polynomial.one()
+
+
+def test_rewire_preserves_depth():
+    circuit = build()
+    rewired = rewire_circuit(circuit, {"p": "x", "q": "y", "r": None})
+    assert rewired.depth <= circuit.depth
+
+
+def test_rewire_merges_labels():
+    circuit = build()
+    rewired = rewire_circuit(circuit, {"p": "x", "q": "x", "r": "z"})
+    poly = canonical_polynomial(rewired)
+    # p⊗q becomes x² (same variable twice)
+    assert any(m.exponent("x") == 2 for m in poly.monomials)
+
+
+def test_strict_mode_requires_total_map():
+    with pytest.raises(KeyError):
+        rewire_circuit(build(), {"p": "x"})
+
+
+def test_non_strict_passthrough():
+    rewired = rewire_circuit(build(), {"p": "x"}, strict=False)
+    assert set(rewired.variables()) == {"x", "q", "r"}
+
+
+def test_rewire_evaluation_semantics():
+    circuit = build()
+    rewired = rewire_circuit(circuit, {"p": "x", "q": "y", "r": None})
+    # evaluating rewired(x, y) == original(p=x, q=y, r=1)
+    original_value = evaluate(circuit, TROPICAL, {"p": 2.0, "q": 3.0, "r": 0.0})
+    rewired_value = evaluate(rewired, TROPICAL, {"x": 2.0, "y": 3.0})
+    assert original_value == rewired_value

@@ -1,0 +1,88 @@
+"""Homomorphisms: positivity transfer (Prop 3.6) and Sorp initiality."""
+
+import pytest
+
+from repro.semirings import (
+    BOOLEAN,
+    COUNTING,
+    SORP,
+    TROPICAL,
+    VITERBI,
+    Polynomial,
+    boolean_embedding,
+    evaluation_homomorphism,
+    formal_evaluation_homomorphism,
+    positivity_homomorphism,
+    FormalPolynomial,
+)
+
+
+def test_positivity_homomorphism_tropical():
+    hom = positivity_homomorphism(TROPICAL)
+    assert hom.verify([0.0, 1.0, 2.0, float("inf")]) == []
+    assert hom(float("inf")) is False
+    assert hom(0.0) is True
+    assert hom(5.0) is True
+
+
+def test_positivity_homomorphism_counting():
+    hom = positivity_homomorphism(COUNTING)
+    assert hom.verify([0, 1, 2, 3]) == []
+
+
+def test_positivity_homomorphism_viterbi():
+    hom = positivity_homomorphism(VITERBI)
+    assert hom.verify([0.0, 0.5, 1.0]) == []
+
+
+def test_boolean_embedding():
+    hom = boolean_embedding(TROPICAL)
+    assert hom.verify([True, False]) == []
+    assert hom(True) == 0.0
+    assert hom(False) == float("inf")
+
+
+def test_evaluation_homomorphism_is_a_hom():
+    x, y = SORP.var("x"), SORP.var("y")
+    hom = evaluation_homomorphism(SORP, TROPICAL, {"x": 1.0, "y": 2.0})
+    assert hom.verify([x, y, x + y, x * y, SORP.one, SORP.zero]) == []
+
+
+def test_evaluation_homomorphism_values():
+    hom = evaluation_homomorphism(SORP, TROPICAL, {"x": 1.0, "y": 2.0})
+    assert hom(SORP.var("x") * SORP.var("y")) == 3.0
+    assert hom(SORP.zero) == TROPICAL.zero
+    assert hom(SORP.one) == TROPICAL.one
+
+
+def test_evaluation_homomorphism_rejects_non_absorptive_target():
+    # Sorp identities (absorption) do not hold in ℕ, so the "hom" is unsound.
+    with pytest.raises(ValueError):
+        evaluation_homomorphism(SORP, COUNTING, {"x": 2})
+
+
+def test_formal_evaluation_homomorphism_any_target():
+    from repro.semirings import NATURAL_POLY
+
+    hom = formal_evaluation_homomorphism(NATURAL_POLY, COUNTING, {"x": 2, "y": 3})
+    x, y = NATURAL_POLY.var("x"), NATURAL_POLY.var("y")
+    assert hom.verify([x, y, x + y, x * y]) == []
+    assert hom(x * y + x) == 8
+
+
+def test_homomorphism_verify_catches_violations():
+    from repro.semirings.homomorphism import SemiringHomomorphism
+
+    bogus = SemiringHomomorphism(COUNTING, COUNTING, lambda v: v + 1, "shift")
+    failures = bogus.verify([0, 1, 2])
+    assert failures  # h(0) ≠ 0 at least
+
+
+def test_initiality_commutes_with_operations():
+    # Evaluate-then-op == op-then-evaluate on a nontrivial pair.
+    assignment = {"a": 2.0, "b": 3.0, "c": 4.0}
+    p = SORP.var("a") * SORP.var("b")
+    q = SORP.var("c")
+    lhs = (p + q).evaluate(TROPICAL, assignment)
+    rhs = TROPICAL.add(p.evaluate(TROPICAL, assignment), q.evaluate(TROPICAL, assignment))
+    assert lhs == rhs

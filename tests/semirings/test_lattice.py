@@ -1,0 +1,110 @@
+"""Lattice semirings: the class Chom = bounded distributive lattices."""
+
+import pytest
+
+from repro.semirings import (
+    ChainLatticeSemiring,
+    DivisibilityLatticeSemiring,
+    FiniteLatticeSemiring,
+    SubsetLatticeSemiring,
+    check_semiring,
+)
+
+
+def test_subset_lattice_axioms():
+    lattice = SubsetLatticeSemiring("abc")
+    samples = [frozenset("a"), frozenset("ab"), frozenset("bc"), frozenset("c")]
+    report = check_semiring(lattice, samples)
+    assert report.is_semiring, report.counterexamples
+    assert report.in_chom
+
+
+def test_subset_lattice_ops():
+    lattice = SubsetLatticeSemiring("abc")
+    a, bc = lattice.element("a"), lattice.element("b", "c")
+    assert lattice.add(a, bc) == frozenset("abc")
+    assert lattice.mul(a, bc) == frozenset()
+    assert lattice.one == frozenset("abc")
+    assert lattice.zero == frozenset()
+
+
+def test_subset_lattice_rejects_foreign_members():
+    with pytest.raises(ValueError):
+        SubsetLatticeSemiring("abc").element("z")
+
+
+def test_divisibility_lattice_axioms():
+    lattice = DivisibilityLatticeSemiring(30)  # 2·3·5, squarefree
+    report = check_semiring(lattice, [1, 2, 3, 5, 6, 10, 15, 30])
+    assert report.is_semiring, report.counterexamples
+    assert report.in_chom
+
+
+def test_divisibility_lattice_ops():
+    lattice = DivisibilityLatticeSemiring(30)
+    assert lattice.add(6, 10) == 30  # lcm
+    assert lattice.mul(6, 10) == 2  # gcd
+    assert lattice.zero == 1 and lattice.one == 30
+
+
+def test_divisibility_lattice_rejects_non_squarefree():
+    with pytest.raises(ValueError):
+        DivisibilityLatticeSemiring(12)  # 2²·3 is not distributive
+
+
+def test_divisibility_lattice_rejects_non_divisor():
+    with pytest.raises(ValueError):
+        DivisibilityLatticeSemiring(30).element(7)
+
+
+def test_chain_lattice_axioms():
+    lattice = ChainLatticeSemiring(4)
+    report = check_semiring(lattice, [0, 1, 2, 3, 4])
+    assert report.is_semiring, report.counterexamples
+    assert report.in_chom
+
+
+def test_chain_lattice_bounds():
+    lattice = ChainLatticeSemiring(4)
+    assert lattice.add(2, 3) == 3
+    assert lattice.mul(2, 3) == 2
+    with pytest.raises(ValueError):
+        lattice.element(5)
+
+
+def test_finite_lattice_diamond():
+    # The diamond M₂ = 0 < {a, b} < 1 is distributive.
+    order = {
+        "bot": {"a", "b", "top"},
+        "a": {"top"},
+        "b": {"top"},
+        "top": set(),
+    }
+    lattice = FiniteLatticeSemiring(order)
+    assert lattice.zero == "bot" and lattice.one == "top"
+    assert lattice.add("a", "b") == "top"
+    assert lattice.mul("a", "b") == "bot"
+    report = check_semiring(lattice, list(lattice.elements))
+    assert report.is_semiring, report.counterexamples
+    assert report.in_chom
+
+
+def test_finite_lattice_requires_unique_bounds():
+    # Two maximal elements: not a bounded lattice.
+    order = {"a": set(), "b": set()}
+    with pytest.raises(ValueError):
+        FiniteLatticeSemiring(order)
+
+
+def test_finite_lattice_rejects_non_lattice_order():
+    # {a, b} has two minimal upper bounds {c, d}: join undefined.
+    order = {
+        "bot": {"a", "b", "c", "d", "top"},
+        "a": {"c", "d", "top"},
+        "b": {"c", "d", "top"},
+        "c": {"top"},
+        "d": {"top"},
+        "top": set(),
+    }
+    with pytest.raises(ValueError):
+        FiniteLatticeSemiring(order)

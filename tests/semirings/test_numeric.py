@@ -1,0 +1,155 @@
+"""Axioms and paper properties of the concrete numeric semirings."""
+
+import math
+
+import pytest
+
+from repro.semirings import (
+    ARCTIC,
+    BOOLEAN,
+    COUNTING,
+    FUZZY,
+    LUKASIEWICZ,
+    TROPICAL,
+    TROPICAL_INT,
+    VITERBI,
+    StarDivergenceError,
+    check_semiring,
+    is_p_stable_on,
+    stability_bound,
+)
+
+SAMPLES = {
+    "boolean": [True, False],
+    "counting": [0, 1, 2, 3, 7],
+    "tropical": [0.0, 1.0, 2.5, 7.0, math.inf],
+    "tropical-int": [-3.0, -1.0, 0.0, 2.0, math.inf],
+    "viterbi": [0.0, 0.25, 0.5, 0.75, 1.0],
+    "fuzzy": [0.0, 0.3, 0.6, 1.0],
+    "lukasiewicz": [0.0, 0.25, 0.5, 0.75, 1.0],
+    "arctic": [-math.inf, 0.0, 1.0, 3.0],
+}
+
+ALL = [BOOLEAN, COUNTING, TROPICAL, TROPICAL_INT, VITERBI, FUZZY, LUKASIEWICZ, ARCTIC]
+
+
+@pytest.mark.parametrize("semiring", ALL, ids=lambda s: s.name)
+def test_core_axioms_hold(semiring):
+    report = check_semiring(semiring, SAMPLES[semiring.name])
+    assert report.is_semiring, report.counterexamples
+
+
+@pytest.mark.parametrize("semiring", ALL, ids=lambda s: s.name)
+def test_declared_flags_not_refuted(semiring):
+    report = check_semiring(semiring, SAMPLES[semiring.name])
+    assert report.matches_declared(semiring) == []
+
+
+def test_absorptive_semirings_are_declared_correctly():
+    assert TROPICAL.absorptive and VITERBI.absorptive and FUZZY.absorptive
+    assert LUKASIEWICZ.absorptive and BOOLEAN.absorptive
+    assert not COUNTING.absorptive and not ARCTIC.absorptive
+
+
+def test_tropical_int_is_idempotent_but_not_absorptive():
+    # The paper's running example: T⁻ with negative weights.
+    report = check_semiring(TROPICAL_INT, SAMPLES["tropical-int"])
+    assert report.is_idempotent_add
+    assert not report.is_absorptive  # 1 ⊕ (-1) = min(0, -1) = -1 ≠ 0
+
+
+def test_arctic_not_absorptive():
+    report = check_semiring(ARCTIC, SAMPLES["arctic"])
+    assert not report.is_absorptive
+
+
+def test_absorptive_implies_idempotent_add():
+    # The implication proven in Section 2.2.
+    for semiring in ALL:
+        if semiring.absorptive:
+            report = check_semiring(semiring, SAMPLES[semiring.name])
+            assert report.is_idempotent_add
+
+
+def test_chom_membership():
+    assert check_semiring(FUZZY, SAMPLES["fuzzy"]).in_chom
+    assert check_semiring(BOOLEAN, SAMPLES["boolean"]).in_chom
+    assert not check_semiring(TROPICAL, SAMPLES["tropical"]).in_chom
+    assert not check_semiring(LUKASIEWICZ, SAMPLES["lukasiewicz"]).in_chom
+
+
+def test_tropical_operations():
+    assert TROPICAL.add(3.0, 5.0) == 3.0
+    assert TROPICAL.mul(3.0, 5.0) == 8.0
+    assert TROPICAL.zero == math.inf
+    assert TROPICAL.one == 0.0
+    assert TROPICAL.is_zero(math.inf)
+
+
+def test_tropical_natural_order_is_reverse_numeric():
+    assert TROPICAL.leq(5.0, 3.0)  # 5 ≤_T 3 since min(5,3)=3... adds down
+    assert not TROPICAL.leq(3.0, 5.0)
+    assert TROPICAL.leq(math.inf, 0.0)  # 0 is the top element
+
+
+def test_counting_natural_order():
+    assert COUNTING.leq(2, 5)
+    assert not COUNTING.leq(5, 2)
+
+
+def test_absorptive_semirings_are_zero_stable():
+    for semiring in (BOOLEAN, TROPICAL, VITERBI, FUZZY, LUKASIEWICZ):
+        assert stability_bound(semiring, SAMPLES[semiring.name]) == 0
+        assert is_p_stable_on(semiring, SAMPLES[semiring.name], 0)
+
+
+def test_counting_is_not_stable():
+    assert stability_bound(COUNTING, [2]) is None
+    assert not is_p_stable_on(COUNTING, [2], 5)
+
+
+def test_star_absorptive_is_one():
+    assert TROPICAL.star(4.0) == TROPICAL.one
+    assert VITERBI.star(0.5) == VITERBI.one
+
+
+def test_star_diverges_on_counting():
+    with pytest.raises(StarDivergenceError):
+        COUNTING.star(2)
+
+
+def test_star_converges_on_counting_zero():
+    assert COUNTING.star(0) == 1
+
+
+def test_power():
+    assert COUNTING.power(3, 4) == 81
+    assert COUNTING.power(3, 0) == 1
+    assert TROPICAL.power(2.0, 5) == 10.0
+    with pytest.raises(ValueError):
+        COUNTING.power(2, -1)
+
+
+def test_add_all_mul_all_identities():
+    assert COUNTING.add_all([]) == 0
+    assert COUNTING.mul_all([]) == 1
+    assert COUNTING.add_all([1, 2, 3]) == 6
+    assert COUNTING.mul_all([2, 3, 4]) == 24
+
+
+def test_sum_of_products():
+    # (2·3) ⊕ (4) over counting = 10; over tropical = min(5, 4) = 4.
+    assert COUNTING.sum_of_products([[2, 3], [4]]) == 10
+    assert TROPICAL.sum_of_products([[2.0, 3.0], [4.0]]) == 4.0
+
+
+def test_from_bool():
+    assert TROPICAL.from_bool(True) == 0.0
+    assert TROPICAL.from_bool(False) == math.inf
+    assert COUNTING.from_bool(True) == 1
+
+
+def test_describe_flags():
+    info = TROPICAL.describe()
+    assert info["absorptive"] and info["idempotent_add"]
+    assert not info["idempotent_mul"]

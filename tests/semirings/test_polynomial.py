@@ -1,0 +1,192 @@
+"""Sorp(X) and ℕ[X]: monomials, absorption, evaluation, initiality."""
+
+import pytest
+
+from repro.semirings import (
+    BOOLEAN,
+    COUNTING,
+    NATURAL_POLY,
+    SORP,
+    SORP_IDEMPOTENT,
+    TROPICAL,
+    FormalPolynomial,
+    Monomial,
+    Polynomial,
+    check_semiring,
+)
+
+
+# -- Monomials -----------------------------------------------------------
+
+
+def test_monomial_construction_and_merge():
+    m = Monomial([("x", 1), ("y", 2), ("x", 1)])
+    assert m.exponent("x") == 2
+    assert m.exponent("y") == 2
+    assert m.exponent("z") == 0
+    assert m.degree == 4
+    assert m.support == {"x", "y"}
+
+
+def test_monomial_multiplication():
+    a = Monomial({"x": 1})
+    b = Monomial({"x": 2, "y": 1})
+    assert (a * b) == Monomial({"x": 3, "y": 1})
+
+
+def test_monomial_divides():
+    assert Monomial({"x": 1}).divides(Monomial({"x": 2, "y": 1}))
+    assert not Monomial({"x": 3}).divides(Monomial({"x": 2}))
+    assert Monomial.unit().divides(Monomial({"x": 1}))
+
+
+def test_monomial_negative_exponent_rejected():
+    with pytest.raises(ValueError):
+        Monomial({"x": -1})
+
+
+def test_monomial_cap_exponents():
+    assert Monomial({"x": 3, "y": 1}).cap_exponents() == Monomial({"x": 1, "y": 1})
+
+
+def test_monomial_repr():
+    assert repr(Monomial.unit()) == "1"
+    assert "^2" in repr(Monomial({"x": 2}))
+
+
+# -- Sorp polynomials ----------------------------------------------------
+
+
+def test_absorption_in_addition():
+    x = Polynomial.variable("x")
+    xy = x * Polynomial.variable("y")
+    # x ⊕ xy = x: the defining absorption law of Sorp(X).
+    assert x + xy == x
+
+
+def test_one_absorbs_everything():
+    one = Polynomial.one()
+    p = Polynomial.variable("x") + Polynomial.variable("y")
+    assert one + p == one
+
+
+def test_addition_keeps_incomparable_monomials():
+    x, y = Polynomial.variable("x"), Polynomial.variable("y")
+    assert len(x + y) == 2
+
+
+def test_multiplication_distributes_and_minimizes():
+    x, y = Polynomial.variable("x"), Polynomial.variable("y")
+    # (x ⊕ y) ⊗ x = x² ⊕ xy; neither absorbs the other.
+    product = (x + y) * x
+    assert len(product) == 2
+    # but (x ⊕ 1) ⊗ x = x (since x ⊕ 1 = 1, then 1 ⊗ x = x)
+    assert (x + Polynomial.one()) * x == x
+
+
+def test_idempotent_mul_caps_exponents():
+    x = Polynomial.variable("x", idempotent_mul=True)
+    assert (x * x) == x
+
+
+def test_sorp_semiring_axioms():
+    x, y = SORP.var("x"), SORP.var("y")
+    samples = [x, y, x + y, x * y, x * x + y]
+    report = check_semiring(SORP, samples)
+    assert report.is_semiring, report.counterexamples
+    assert report.is_absorptive
+    assert report.is_idempotent_add
+
+
+def test_sorp_idempotent_in_chom():
+    x, y = SORP_IDEMPOTENT.var("x"), SORP_IDEMPOTENT.var("y")
+    report = check_semiring(SORP_IDEMPOTENT, [x, y, x + y, x * y])
+    assert report.is_semiring, report.counterexamples
+    assert report.in_chom
+
+
+def test_polynomial_evaluation_tropical():
+    # x·y ⊕ z over tropical with x=1, y=2, z=5 → min(3, 5) = 3.
+    poly = Polynomial.variable("x") * Polynomial.variable("y") + Polynomial.variable("z")
+    value = poly.evaluate(TROPICAL, {"x": 1.0, "y": 2.0, "z": 5.0})
+    assert value == 3.0
+
+
+def test_polynomial_evaluation_boolean_support():
+    poly = Polynomial.variable("x") * Polynomial.variable("y")
+    assert poly.evaluate(BOOLEAN, {"x": True, "y": True})
+    assert not poly.evaluate(BOOLEAN, {"x": True, "y": False})
+
+
+def test_polynomial_evaluation_missing_variable():
+    with pytest.raises(KeyError):
+        Polynomial.variable("x").evaluate(TROPICAL, {})
+
+
+def test_natural_order_of_sorp():
+    x = Polynomial.variable("x")
+    xy = x * Polynomial.variable("y")
+    assert xy.leq(x)  # xy ≤ x (x absorbs xy)
+    assert not x.leq(xy)
+
+
+def test_zero_and_one():
+    assert Polynomial.zero().is_zero()
+    assert Polynomial.one().is_one()
+    assert not Polynomial.variable("x").is_zero()
+    x = Polynomial.variable("x")
+    assert x + Polynomial.zero() == x
+    assert x * Polynomial.one() == x
+    assert (x * Polynomial.zero()).is_zero()
+
+
+def test_variables_and_degree():
+    p = Polynomial.variable("x") * Polynomial.variable("y") + Polynomial.variable("z")
+    assert p.variables == {"x", "y", "z"}
+    assert p.degree == 2
+
+
+# -- ℕ[X] ----------------------------------------------------------------
+
+
+def test_formal_polynomial_counts_multiplicities():
+    x = FormalPolynomial.variable("x")
+    two_x = x + x
+    assert two_x.coefficient(Monomial({"x": 1})) == 2
+
+
+def test_formal_polynomial_no_absorption():
+    x, y = FormalPolynomial.variable("x"), FormalPolynomial.variable("y")
+    p = x + x * y
+    assert len(p) == 2  # both monomials kept
+
+
+def test_formal_polynomial_multiplication():
+    x, y = FormalPolynomial.variable("x"), FormalPolynomial.variable("y")
+    p = (x + y) * (x + y)
+    assert p.coefficient(Monomial({"x": 1, "y": 1})) == 2
+    assert p.coefficient(Monomial({"x": 2})) == 1
+
+
+def test_formal_polynomial_evaluate_counting():
+    x, y = FormalPolynomial.variable("x"), FormalPolynomial.variable("y")
+    p = x * y + x  # 2·3 + 2 = 8
+    assert p.evaluate(COUNTING, {"x": 2, "y": 3}) == 8
+
+
+def test_formal_to_sorp_projection():
+    x, y = FormalPolynomial.variable("x"), FormalPolynomial.variable("y")
+    p = x + x * y + x  # coefficients dropped, xy absorbed
+    assert p.to_sorp() == Polynomial.variable("x")
+
+
+def test_natural_poly_semiring_axioms():
+    x, y = NATURAL_POLY.var("x"), NATURAL_POLY.var("y")
+    report = check_semiring(NATURAL_POLY, [x, y, x + y, x * y])
+    assert report.is_semiring, report.counterexamples
+    assert not report.is_absorptive
+
+
+def test_formal_rejects_negative_coefficients():
+    with pytest.raises(ValueError):
+        FormalPolynomial({Monomial({"x": 1}): -1})

@@ -1,0 +1,142 @@
+"""Property-based verification of semiring laws (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semirings import (
+    BOOLEAN,
+    FUZZY,
+    LUKASIEWICZ,
+    SORP,
+    SORP_IDEMPOTENT,
+    TROPICAL,
+    VITERBI,
+    Monomial,
+    Polynomial,
+)
+
+tropical_values = st.one_of(
+    st.just(math.inf), st.integers(min_value=0, max_value=50).map(float)
+)
+unit_values = st.integers(min_value=0, max_value=20).map(lambda k: k / 20.0)
+
+
+def _variable():
+    return st.sampled_from(["x", "y", "z", "w"])
+
+
+def _monomials():
+    return st.dictionaries(_variable(), st.integers(1, 3), max_size=3).map(Monomial)
+
+
+def polynomials(idempotent=False):
+    return st.lists(_monomials(), max_size=4).map(
+        lambda ms: Polynomial(ms, idempotent_mul=idempotent)
+    )
+
+
+# -- numeric semirings ----------------------------------------------------
+
+
+@given(a=tropical_values, b=tropical_values, c=tropical_values)
+def test_tropical_distributivity(a, b, c):
+    assert TROPICAL.mul(a, TROPICAL.add(b, c)) == TROPICAL.add(
+        TROPICAL.mul(a, b), TROPICAL.mul(a, c)
+    )
+
+
+@given(a=tropical_values)
+def test_tropical_absorption(a):
+    assert TROPICAL.add(TROPICAL.one, a) == TROPICAL.one
+
+
+@given(a=unit_values, b=unit_values, c=unit_values)
+def test_viterbi_distributivity(a, b, c):
+    lhs = VITERBI.mul(a, VITERBI.add(b, c))
+    rhs = VITERBI.add(VITERBI.mul(a, b), VITERBI.mul(a, c))
+    assert VITERBI.eq(lhs, rhs)
+
+
+@given(a=unit_values, b=unit_values, c=unit_values)
+def test_lukasiewicz_distributivity(a, b, c):
+    lhs = LUKASIEWICZ.mul(a, LUKASIEWICZ.add(b, c))
+    rhs = LUKASIEWICZ.add(LUKASIEWICZ.mul(a, b), LUKASIEWICZ.mul(a, c))
+    assert LUKASIEWICZ.eq(lhs, rhs)
+
+
+@given(a=unit_values, b=unit_values)
+def test_fuzzy_commutativity_and_absorption(a, b):
+    assert FUZZY.add(a, b) == FUZZY.add(b, a)
+    assert FUZZY.mul(a, b) == FUZZY.mul(b, a)
+    assert FUZZY.add(FUZZY.one, a) == FUZZY.one
+
+
+# -- Sorp(X): the free absorptive semiring --------------------------------
+
+
+@given(p=polynomials(), q=polynomials())
+def test_sorp_commutativity(p, q):
+    assert p + q == q + p
+    assert p * q == q * p
+
+
+@given(p=polynomials(), q=polynomials(), r=polynomials())
+@settings(max_examples=50)
+def test_sorp_associativity_and_distributivity(p, q, r):
+    assert (p + q) + r == p + (q + r)
+    assert (p * q) * r == p * (q * r)
+    assert p * (q + r) == p * q + p * r
+
+
+@given(p=polynomials())
+def test_sorp_absorption_law(p):
+    assert Polynomial.one() + p == Polynomial.one()
+    assert p + p == p
+
+
+@given(p=polynomials(), q=polynomials())
+def test_sorp_absorption_of_products(p, q):
+    # The general absorption identity: p ⊕ p·q = p.
+    assert p + p * q == p
+
+
+@given(p=polynomials(idempotent=True))
+def test_sorp_idempotent_multiplication(p):
+    assert p * p == p
+
+
+@given(ms=st.lists(_monomials(), max_size=4))
+def test_minimization_is_an_antichain(ms):
+    poly = Polynomial(ms)
+    kept = list(poly.monomials)
+    for i, a in enumerate(kept):
+        for j, b in enumerate(kept):
+            if i != j:
+                assert not a.divides(b), f"{a} divides {b}: not minimized"
+
+
+@given(p=polynomials(), q=polynomials())
+@settings(max_examples=50)
+def test_evaluation_is_homomorphic_into_tropical(p, q):
+    assignment = {"x": 1.0, "y": 2.0, "z": 3.0, "w": 5.0}
+    lhs_add = (p + q).evaluate(TROPICAL, assignment)
+    rhs_add = TROPICAL.add(p.evaluate(TROPICAL, assignment), q.evaluate(TROPICAL, assignment))
+    assert lhs_add == rhs_add
+    lhs_mul = (p * q).evaluate(TROPICAL, assignment)
+    rhs_mul = TROPICAL.mul(p.evaluate(TROPICAL, assignment), q.evaluate(TROPICAL, assignment))
+    assert lhs_mul == rhs_mul
+
+
+@given(p=polynomials())
+@settings(max_examples=50)
+def test_evaluation_is_homomorphic_into_boolean(p):
+    assignment = {"x": True, "y": False, "z": True, "w": True}
+    # Support homomorphism: Sorp → Tropical → B commutes with Sorp → B.
+    tropical_assignment = {
+        var: (0.0 if flag else math.inf) for var, flag in assignment.items()
+    }
+    via_tropical = p.evaluate(TROPICAL, tropical_assignment) != math.inf
+    direct = p.evaluate(BOOLEAN, assignment)
+    assert via_tropical == direct

@@ -1,0 +1,124 @@
+"""Workload generator invariants."""
+
+import pytest
+
+from repro.datalog import Fact
+from repro.workloads import (
+    complete_dag,
+    cycle_graph,
+    dyck_concatenated_path,
+    dyck_nested_path,
+    grid_digraph,
+    layered_graph,
+    path_graph,
+    random_bracket_graph,
+    random_digraph,
+    random_labeled_digraph,
+    random_weights,
+    word_path,
+)
+
+
+def test_path_graph():
+    db = path_graph(5)
+    assert len(db) == 5
+    assert Fact("E", (0, 1)) in db and Fact("E", (4, 5)) in db
+
+
+def test_cycle_graph():
+    db = cycle_graph(4)
+    assert len(db) == 4
+    assert Fact("E", (3, 0)) in db
+    with pytest.raises(ValueError):
+        cycle_graph(0)
+
+
+def test_layered_graph_structure():
+    graph = layered_graph(3, 4, seed=2)
+    assert graph.num_layers == 4
+    assert graph.path_length == 5
+    assert graph.num_vertices == 2 + 12
+    position = {}
+    for depth, layer in enumerate(graph.layers):
+        for v in layer:
+            position[v] = depth
+    position[graph.source] = -1
+    position[graph.sink] = 4
+    for u, v in graph.edges:
+        assert position[v] - position[u] == 1, (u, v)
+
+
+def test_layered_graph_every_vertex_has_an_out_edge():
+    graph = layered_graph(3, 5, seed=9, edge_probability=0.05)
+    sources = {u for u, _v in graph.edges}
+    for layer in graph.layers[:-1]:
+        for v in layer:
+            assert v in sources
+
+
+def test_layered_graph_is_deterministic_per_seed():
+    a = layered_graph(3, 3, seed=5)
+    b = layered_graph(3, 3, seed=5)
+    assert a.edges == b.edges
+
+
+def test_random_digraph_backbone_and_size():
+    db = random_digraph(8, 20, seed=0)
+    for i in range(7):
+        assert Fact("E", (i, i + 1)) in db
+    assert len(db) <= 20 + 7
+    assert len(db) >= 7
+
+
+def test_random_digraph_no_self_loops():
+    db = random_digraph(6, 25, seed=3)
+    for args in db.tuples("E"):
+        assert args[0] != args[1]
+
+
+def test_random_digraph_requires_two_vertices():
+    with pytest.raises(ValueError):
+        random_digraph(1, 1)
+
+
+def test_grid_digraph():
+    db = grid_digraph(3, 3)
+    assert len(db) == 12  # 2·3 right + 2·3 down... 6 + 6
+    assert Fact("E", ((0, 0), (0, 1))) in db
+
+
+def test_complete_dag():
+    db = complete_dag(5)
+    assert len(db) == 10
+
+
+def test_random_weights_deterministic_and_bounded():
+    db = random_digraph(5, 10, seed=1)
+    w1 = random_weights(db, seed=4)
+    w2 = random_weights(db, seed=4)
+    assert w1 == w2
+    assert all(1.0 <= v <= 9.0 for v in w1.values())
+
+
+def test_word_path():
+    edges = word_path("abc")
+    assert edges == [(0, "a", 1), (1, "b", 2), (2, "c", 3)]
+
+
+def test_dyck_paths():
+    nested = dyck_nested_path(2)
+    assert [label for _u, label, _v in nested] == ["L", "L", "R", "R"]
+    concat = dyck_concatenated_path(2)
+    assert [label for _u, label, _v in concat] == ["L", "R", "L", "R"]
+
+
+def test_random_labeled_digraph_backbone():
+    edges = random_labeled_digraph(6, 12, "ab", seed=0, backbone_word="ab")
+    assert (0, "a", 1) in edges and (1, "b", 2) in edges
+    assert all(u != v for u, _l, v in edges)
+
+
+def test_random_bracket_graph_contains_balanced_backbone():
+    edges = random_bracket_graph(8, 14, seed=2, nesting=2)
+    labels = [label for _u, label, _v in edges[:4]]
+    assert labels == ["L", "L", "R", "R"]
