@@ -6,7 +6,6 @@ O(log size) depth (Thm 3.2), with equivalence verified by canonical
 polynomials on the smaller sizes.
 """
 
-import math
 
 from conftest import run_sweep
 

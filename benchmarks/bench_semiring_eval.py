@@ -11,7 +11,6 @@ that makes circuit-size benchmarks feasible in Python.
 
 import sys
 
-from conftest import run_sweep
 
 from repro.circuits import evaluate
 from repro.constructions import bellman_ford_circuit
@@ -63,9 +62,15 @@ def test_semiring_eval_correctness(benchmark):
         (VITERBI, {f: 0.9 for f in db.facts()}),
         (BOOLEAN, {f: True for f in db.facts()}),
     ]:
-        expected = naive_evaluation(TC, db, semiring, weights=valuation).value(fact)
-        got = evaluate(circuit, semiring, valuation)
-        assert semiring.eq(got, expected), semiring.name
+        # Both engine strategies must agree with the circuit (and hence
+        # with each other) -- the benchmark-scale face of the
+        # naive/semi-naive equivalence tests.
+        for strategy in ("naive", "seminaive"):
+            expected = naive_evaluation(
+                TC, db, semiring, weights=valuation, strategy=strategy
+            ).value(fact)
+            got = evaluate(circuit, semiring, valuation)
+            assert semiring.eq(got, expected), (semiring.name, strategy)
     benchmark(evaluate, circuit, TROPICAL, weights)
 
 

@@ -6,7 +6,6 @@ Theorem 5.8's construction; the report checks the measured growth
 against both claimed bounds.
 """
 
-import pytest
 
 from conftest import run_sweep
 

@@ -11,7 +11,6 @@ from conftest import run_sweep
 from repro.circuits import balance_formula, circuit_to_formula, measure
 from repro.constructions import bounded_circuit
 from repro.datalog import Fact, bounded_example
-from repro.workloads import path_graph
 
 PROGRAM = bounded_example()
 SWEEP = (6, 10, 14, 20, 28)

@@ -8,7 +8,6 @@ of input graphs.
 
 from conftest import run_sweep
 
-from repro.circuits import measure
 from repro.constructions import squaring_circuit
 from repro.grammars import parse_regex
 from repro.reductions import (

@@ -1,3 +1,9 @@
+"""Legacy shim for tooling that still invokes ``setup.py`` directly.
+
+All project metadata, package discovery, pytest and ruff configuration
+live in ``pyproject.toml``.
+"""
+
 from setuptools import setup
 
 setup()

@@ -21,8 +21,6 @@ Quickstart::
     print(evaluate(circuit, TROPICAL, weights))   # shortest path: 1.0
 """
 
-__version__ = "1.0.0"
-
 from . import (
     analysis,
     boundedness,
@@ -34,6 +32,8 @@ from . import (
     semirings,
     workloads,
 )
+
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",

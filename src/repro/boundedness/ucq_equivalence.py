@@ -15,7 +15,7 @@ from typing import Iterable, List
 
 from ..datalog.ast import DatalogError, Program
 from ..datalog.database import Database
-from ..datalog.evaluation import naive_evaluation
+from ..datalog.seminaive import FixpointEngine
 from ..datalog.expansions import ConjunctiveQuery, expansions
 from ..semirings.numeric import BOOLEAN
 from .homomorphism import has_homomorphism
@@ -80,10 +80,11 @@ def ucq_matches_program(
     Proposition 4.8.
     """
     ucq = equivalent_ucq(program, certificate)
+    engine = FixpointEngine()
     for database in databases:
         program_answers = frozenset(
             fact.args
-            for fact, value in naive_evaluation(program, database, BOOLEAN).values.items()
+            for fact, value in engine.evaluate(program, database, BOOLEAN).values.items()
             if value and fact.predicate == program.target
         )
         if ucq_answers(ucq, database) != program_answers:

@@ -3,7 +3,9 @@
 * :class:`Circuit` / :class:`CircuitBuilder` -- the array-backed
   fan-in-2 DAG representation and its constructor.
 * :mod:`~repro.circuits.evaluate` -- linear-time bottom-up evaluation
-  over any semiring.
+  over any semiring, plus :func:`crosscheck_fixpoint`, the bridge that
+  compares circuit outputs against the Datalog
+  :class:`~repro.datalog.seminaive.FixpointEngine`.
 * :mod:`~repro.circuits.transform` -- circuit → formula expansion
   (Prop 3.3) and Brent/Wegener depth balancing (Thm 3.2).
 * :mod:`~repro.circuits.polynomials` -- canonical ``Sorp(X)``
@@ -13,7 +15,7 @@
 """
 
 from .circuit import OP_ADD, OP_CONST0, OP_CONST1, OP_MUL, OP_VAR, Circuit, CircuitBuilder
-from .evaluate import evaluate, evaluate_all, evaluate_boolean
+from .evaluate import crosscheck_fixpoint, evaluate, evaluate_all, evaluate_boolean
 from .metrics import CircuitMetrics, measure
 from .polynomials import (
     canonical_polynomial,
@@ -42,6 +44,7 @@ __all__ = [
     "evaluate",
     "evaluate_all",
     "evaluate_boolean",
+    "crosscheck_fixpoint",
     "CircuitMetrics",
     "measure",
     "canonical_polynomial",

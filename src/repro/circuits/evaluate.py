@@ -13,12 +13,12 @@ the identity assignment extracts the circuit's *canonical polynomial*
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, List, Mapping, Optional
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from ..semirings.base import Semiring
 from .circuit import OP_ADD, OP_CONST0, OP_CONST1, OP_MUL, OP_VAR, Circuit
 
-__all__ = ["evaluate", "evaluate_all", "evaluate_boolean"]
+__all__ = ["evaluate", "evaluate_all", "evaluate_boolean", "crosscheck_fixpoint"]
 
 
 def evaluate(
@@ -100,3 +100,50 @@ def evaluate_boolean(
             raise ValueError("circuit has multiple outputs; pass output=")
         output = circuit.outputs[0]
     return values[output]
+
+
+def crosscheck_fixpoint(
+    circuit: Circuit,
+    facts: Sequence,
+    program,
+    database,
+    semiring: Semiring,
+    weights: Optional[Mapping] = None,
+    strategy: Optional[str] = None,
+) -> Dict[object, Tuple[object, object]]:
+    """Compare circuit outputs against the Datalog fixpoint engine.
+
+    *facts* pairs the circuit's outputs (positionally) with the IDB
+    facts they are meant to compute.  The circuit is evaluated on the
+    database valuation (overridden by *weights*) and each output is
+    compared -- via ``semiring.eq`` -- with the value the
+    :class:`~repro.datalog.seminaive.FixpointEngine` computes under
+    *strategy* (default: the repo-wide semi-naive default).
+
+    Returns ``{fact: (circuit_value, fixpoint_value)}`` for the facts
+    that disagree; an empty dict certifies agreement.  This is the
+    bridge the construction theorems promise ("the circuit produces
+    the provenance"), used by the equivalence tests and benchmarks.
+    """
+    from ..datalog.seminaive import FixpointEngine
+
+    if len(facts) != len(circuit.outputs):
+        raise ValueError(
+            f"{len(facts)} facts for a circuit with {len(circuit.outputs)} outputs"
+        )
+    assignment = dict(database.valuation(semiring))
+    if weights:
+        assignment.update(weights)
+    values = evaluate_all(
+        circuit, semiring, lambda label: assignment.get(label, semiring.one)
+    )
+    result = FixpointEngine(strategy).evaluate(
+        program, database, semiring, weights=weights
+    )
+    mismatches: Dict[object, Tuple[object, object]] = {}
+    for fact, output in zip(facts, circuit.outputs):
+        circuit_value = values[output]
+        fixpoint_value = result.value(fact)
+        if not semiring.eq(circuit_value, fixpoint_value):
+            mismatches[fact] = (circuit_value, fixpoint_value)
+    return mismatches

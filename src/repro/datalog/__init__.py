@@ -1,10 +1,12 @@
 """Datalog over semirings (Sections 2.1, 2.3, 2.4 of the paper).
 
 The engine: AST + parser, annotated databases, grounding (full and
-relevant), naive evaluation over any naturally ordered semiring,
-proof-tree enumeration (tight trees, Prop 2.4), CQ expansions of
-linear programs (Thm 4.5) and a library of the paper's example
-programs.
+relevant), fixpoint evaluation over any naturally ordered semiring via
+the :class:`FixpointEngine` (semi-naive with indexed deltas by
+default, the paper's naive loop as the selectable reference strategy
+-- see :mod:`repro.datalog.seminaive`), proof-tree enumeration (tight
+trees, Prop 2.4), CQ expansions of linear programs (Thm 4.5) and a
+library of the paper's example programs.
 """
 
 from .ast import Atom, Constant, DatalogError, Fact, Program, Rule, Term, Variable
@@ -31,6 +33,14 @@ from .grounding import (
     derivable_facts,
     full_grounding,
     relevant_grounding,
+)
+from .seminaive import (
+    DEFAULT_STRATEGY,
+    NAIVE,
+    SEMINAIVE,
+    STRATEGIES,
+    FixpointEngine,
+    seminaive_evaluation,
 )
 from .magic import magic_specialize, magic_specialize_sink, specialized_fact
 from .library import (
@@ -73,8 +83,14 @@ __all__ = [
     "EvaluationResult",
     "DivergenceError",
     "naive_evaluation",
+    "seminaive_evaluation",
     "evaluate_fact",
     "boolean_iterations",
+    "FixpointEngine",
+    "DEFAULT_STRATEGY",
+    "NAIVE",
+    "SEMINAIVE",
+    "STRATEGIES",
     "ProofTree",
     "enumerate_tight_proof_trees",
     "enumerate_proof_trees",

@@ -1,49 +1,76 @@
-"""Datalog semantics over semirings: the ICO and naive evaluation.
+"""Datalog semantics over semirings: the ICO and the fixpoint front-end.
 
 Section 2.3: the immediate consequence operator (ICO) maps each IDB
 fact ``α`` to the ``⊕``-sum over all grounded rules with head ``α`` of
 the ``⊗``-product of the rule's body facts.  Naive evaluation starts
 from all-``0`` and applies the ICO until a fixpoint.
 
+Two strategies compute that fixpoint (see
+:mod:`repro.datalog.seminaive` for the :class:`FixpointEngine` API and
+the naive-vs-semi-naive trade-off):
+
+* ``naive`` -- the paper's loop, kept verbatim in
+  :func:`_naive_fixpoint` as the reference implementation: every round
+  re-evaluates every ground rule, ``O(iterations × |ground rules|)``.
+* ``seminaive`` -- the default: per-fact deltas plus the
+  ``rules_by_idb_body`` index re-evaluate only rules whose body
+  actually changed, round-for-round equivalent to naive.
+
+:func:`naive_evaluation` keeps its historical name and signature but
+now delegates to the engine, so every caller gets the semi-naive
+backend unless it pins ``strategy="naive"``.
+
 Convergence is guaranteed for absorptive (0-stable) semirings -- in at
 most ``N`` rounds, where ``N`` is the number of derivable IDB facts,
 because a tight proof tree repeats no IDB fact on a root-to-leaf path
 and so has height at most ``N``.  Over non-stable semirings (e.g. the
 counting semiring on cyclic inputs) evaluation may diverge; the
-``max_iterations`` guard reports that instead of spinning.
+``max_iterations`` guard reports that instead of spinning, identically
+under both strategies.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..semirings.base import Semiring
 from .ast import Fact, Program
 from .database import Database
-from .grounding import GroundProgram, derivable_facts, relevant_grounding
+from .grounding import GroundProgram, derivable_facts
 
-__all__ = ["EvaluationResult", "naive_evaluation", "evaluate_fact", "boolean_iterations"]
+__all__ = [
+    "EvaluationResult",
+    "DivergenceError",
+    "naive_evaluation",
+    "evaluate_fact",
+    "boolean_iterations",
+]
 
 
 class DivergenceError(RuntimeError):
-    """Naive evaluation hit the iteration cap without converging."""
+    """Fixpoint evaluation hit the iteration cap without converging."""
 
 
 @dataclass
 class EvaluationResult:
-    """Outcome of naive evaluation.
+    """Outcome of a fixpoint evaluation.
 
     ``values`` holds the least-fixpoint annotation of every derivable
     IDB fact; ``iterations`` is the number of ICO applications until
     the fixpoint was certified (the quantity bounded by Definition
-    4.1's ``k`` for bounded programs).
+    4.1's ``k`` for bounded programs) and is identical across
+    strategies.  ``strategy`` records which backend produced the
+    result; ``rule_evaluations`` counts ``⊗``-term recomputations, the
+    cost metric on which the strategies differ.
     """
 
     semiring: Semiring
     values: Dict[Fact, object]
     iterations: int
     converged: bool
+    strategy: str = "naive"
+    rule_evaluations: int = 0
 
     def value(self, fact: Fact):
         return self.values.get(fact, self.semiring.zero)
@@ -56,33 +83,18 @@ class EvaluationResult:
         }
 
 
-def naive_evaluation(
-    program: Program,
-    database: Database,
+def _naive_fixpoint(
+    ground: GroundProgram,
     semiring: Semiring,
-    weights: Optional[Mapping[Fact, object]] = None,
-    ground: Optional[GroundProgram] = None,
-    max_iterations: Optional[int] = None,
-    raise_on_divergence: bool = False,
-) -> EvaluationResult:
-    """Run naive evaluation of *program* on *database* over *semiring*.
+    edb_value: Mapping[Fact, object],
+    idb_facts: List[Fact],
+    max_iterations: int,
+) -> Tuple[Dict[Fact, object], int, bool, int]:
+    """The literal Section 2.3 loop: re-evaluate everything each round.
 
-    *weights* overrides the database's stored annotations (default:
-    stored weight, else ``1``).  *ground* lets callers reuse a
-    precomputed grounding.  ``max_iterations`` defaults to
-    ``max(#IDB facts, 1) + 1`` extra headroom for absorptive
-    semirings and must be set explicitly for non-stable ones.
+    Returns ``(values, iterations, converged, rule_evaluations)``; the
+    reference the semi-naive strategy is tested against.
     """
-    if ground is None:
-        ground = relevant_grounding(program, database)
-    edb_value = dict(database.valuation(semiring))
-    if weights:
-        edb_value.update(weights)
-
-    idb_facts = sorted(ground.idb_facts, key=repr)
-    if max_iterations is None:
-        max_iterations = max(len(idb_facts), 1) + 2
-
     # Precompute each ground rule's EDB product once.
     rule_edb_product = [
         semiring.mul_all(edb_value[fact] for fact in rule.edb_body) for rule in ground.rules
@@ -91,6 +103,7 @@ def naive_evaluation(
     values: Dict[Fact, object] = {fact: semiring.zero for fact in idb_facts}
     iterations = 0
     converged = False
+    rule_evaluations = 0
     for _ in range(max_iterations):
         fresh: Dict[Fact, object] = {fact: semiring.zero for fact in idb_facts}
         for rule, edb_product in zip(ground.rules, rule_edb_product):
@@ -98,18 +111,51 @@ def naive_evaluation(
             for body_fact in rule.idb_body:
                 term = semiring.mul(term, values[body_fact])
             fresh[rule.head] = semiring.add(fresh[rule.head], term)
+            rule_evaluations += 1
         iterations += 1
         if all(semiring.eq(fresh[fact], values[fact]) for fact in idb_facts):
             converged = True
             values = fresh
             break
         values = fresh
-    if not converged and raise_on_divergence:
-        raise DivergenceError(
-            f"naive evaluation over {semiring.name} did not converge in "
-            f"{max_iterations} iterations"
-        )
-    return EvaluationResult(semiring, values, iterations, converged)
+    return values, iterations, converged, rule_evaluations
+
+
+def naive_evaluation(
+    program: Program,
+    database: Database,
+    semiring: Semiring,
+    weights: Optional[Mapping[Fact, object]] = None,
+    ground: Optional[GroundProgram] = None,
+    max_iterations: Optional[int] = None,
+    raise_on_divergence: bool = False,
+    strategy: Optional[str] = None,
+) -> EvaluationResult:
+    """Fixpoint evaluation of *program* on *database* over *semiring*.
+
+    *weights* overrides the database's stored annotations (default:
+    stored weight, else ``1``).  *ground* lets callers reuse a
+    precomputed grounding.  ``max_iterations`` defaults to
+    ``max(#IDB facts, 1) + 2`` extra headroom for absorptive
+    semirings and must be set explicitly for non-stable ones.
+
+    Despite the historical name this delegates to the
+    :class:`~repro.datalog.seminaive.FixpointEngine`; *strategy* picks
+    the backend (``"naive"`` | ``"seminaive"``, default
+    :data:`~repro.datalog.seminaive.DEFAULT_STRATEGY`, i.e.
+    semi-naive).  Both produce identical results round for round.
+    """
+    from .seminaive import FixpointEngine
+
+    return FixpointEngine(strategy).evaluate(
+        program,
+        database,
+        semiring,
+        weights=weights,
+        ground=ground,
+        max_iterations=max_iterations,
+        raise_on_divergence=raise_on_divergence,
+    )
 
 
 def evaluate_fact(
@@ -118,9 +164,10 @@ def evaluate_fact(
     semiring: Semiring,
     fact: Fact,
     weights: Optional[Mapping[Fact, object]] = None,
+    strategy: Optional[str] = None,
 ):
     """Least-fixpoint value of one IDB *fact* (``0`` if underivable)."""
-    result = naive_evaluation(program, database, semiring, weights)
+    result = naive_evaluation(program, database, semiring, weights, strategy=strategy)
     return result.value(fact)
 
 

@@ -55,16 +55,60 @@ class GroundRule:
 
 @dataclass
 class GroundProgram:
-    """The grounded program: ground rules indexed by head fact."""
+    """The grounded program: ground rules indexed by head fact.
+
+    Besides ``by_head`` (head fact → ground rules), two derived
+    integer indexes are built once on first use and cached; they are
+    the backbone of the semi-naive engine
+    (:mod:`repro.datalog.seminaive`):
+
+    * :attr:`rules_by_idb_body` -- IDB fact → indices of the ground
+      rules whose **body** mentions it.  When a fact's value changes,
+      exactly these rules can produce a different term.
+    * :attr:`rule_indices_by_head` -- head fact → indices of the rules
+      deriving it, used to re-fold a head's ``⊕``-sum from cached
+      per-rule terms.
+    """
 
     program: Program
     rules: List[GroundRule]
     by_head: Dict[Fact, List[GroundRule]] = field(default_factory=dict)
+    _rules_by_idb_body: Optional[Dict[Fact, Tuple[int, ...]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _rule_indices_by_head: Optional[Dict[Fact, Tuple[int, ...]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.by_head:
             for rule in self.rules:
                 self.by_head.setdefault(rule.head, []).append(rule)
+
+    @property
+    def rules_by_idb_body(self) -> Mapping[Fact, Tuple[int, ...]]:
+        """IDB fact → indices of ground rules with that fact in the body."""
+        if self._rules_by_idb_body is None:
+            index: Dict[Fact, List[int]] = {}
+            for position, rule in enumerate(self.rules):
+                for fact in set(rule.idb_body):
+                    index.setdefault(fact, []).append(position)
+            self._rules_by_idb_body = {
+                fact: tuple(positions) for fact, positions in index.items()
+            }
+        return self._rules_by_idb_body
+
+    @property
+    def rule_indices_by_head(self) -> Mapping[Fact, Tuple[int, ...]]:
+        """Head fact → indices of the ground rules deriving it."""
+        if self._rule_indices_by_head is None:
+            index: Dict[Fact, List[int]] = {}
+            for position, rule in enumerate(self.rules):
+                index.setdefault(rule.head, []).append(position)
+            self._rule_indices_by_head = {
+                fact: tuple(positions) for fact, positions in index.items()
+            }
+        return self._rule_indices_by_head
 
     @property
     def idb_facts(self) -> FrozenSet[Fact]:

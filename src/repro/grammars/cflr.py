@@ -6,9 +6,11 @@ all pairs ``(s, t)`` connected by a path whose label word lies in
 the ``⊕``-sum over such paths of the ``⊗``-product of edge tags.
 
 The solver reuses the Datalog engine: the (binarized) grammar becomes
-a chain program (Proposition 5.2) which is evaluated naively over the
-semiring.  This keeps a single trusted fixpoint engine for Datalog,
-RPQs and CFL-reachability alike.
+a chain program (Proposition 5.2) which is handed to the
+:class:`~repro.datalog.seminaive.FixpointEngine` (semi-naive by
+default; pass ``strategy="naive"`` to force the reference loop).  This
+keeps a single trusted fixpoint engine for Datalog, RPQs and
+CFL-reachability alike.
 """
 
 from __future__ import annotations
@@ -39,6 +41,7 @@ def cfl_reachability(
     semiring: Semiring,
     weights: Optional[Mapping[Fact, object]] = None,
     max_iterations: Optional[int] = None,
+    strategy: Optional[str] = None,
 ) -> Dict[Tuple[Vertex, Vertex], object]:
     """Solve weighted CFL-reachability.
 
@@ -58,7 +61,12 @@ def cfl_reachability(
     database = edges if isinstance(edges, Database) else Database.from_labeled_edges(edges)
     program = chain_program_for(grammar)
     result: EvaluationResult = naive_evaluation(
-        program, database, semiring, weights=weights, max_iterations=max_iterations
+        program,
+        database,
+        semiring,
+        weights=weights,
+        max_iterations=max_iterations,
+        strategy=strategy,
     )
     output: Dict[Tuple[Vertex, Vertex], object] = {}
     for fact, value in result.values.items():

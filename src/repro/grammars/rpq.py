@@ -88,6 +88,7 @@ def solve_rpq(
     semiring: Semiring,
     weights: Optional[Mapping[Fact, object]] = None,
     max_iterations: Optional[int] = None,
+    strategy: Optional[str] = None,
 ) -> Dict[Tuple[Vertex, Vertex], object]:
     """Evaluate the RPQ over *semiring* via TC on the product graph.
 
@@ -110,6 +111,7 @@ def solve_rpq(
         semiring,
         weights=product_weights,
         max_iterations=max_iterations,
+        strategy=strategy,
     )
     output: Dict[Tuple[Vertex, Vertex], object] = {}
     for fact, value in result.values.items():

@@ -158,8 +158,6 @@ def find_monadic_witness(
     """
     if not (program.is_monadic() and program.is_linear() and program.is_connected()):
         return None
-    idbs = program.idb_predicates
-    recursive = [i for i, r in enumerate(program.rules) if not r.is_initialization(idbs)]
     # All expansions with ≤ K steps, for subsumption checks.
     probe_depth = max_prefix + max_pump * (max(pump_checks) + 1) + 1
     expansion_pool: Dict[int, List[ConjunctiveQuery]] = {}

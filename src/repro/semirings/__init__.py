@@ -31,6 +31,7 @@ from .numeric import (
     ARCTIC,
     BOOLEAN,
     COUNTING,
+    COUNTING_CAP,
     FUZZY,
     LUKASIEWICZ,
     TROPICAL,
@@ -38,6 +39,7 @@ from .numeric import (
     VITERBI,
     ArcticSemiring,
     BooleanSemiring,
+    CappedCountingSemiring,
     CountingSemiring,
     FuzzySemiring,
     LukasiewiczSemiring,
@@ -63,6 +65,7 @@ __all__ = [
     "StarDivergenceError",
     "BooleanSemiring",
     "CountingSemiring",
+    "CappedCountingSemiring",
     "TropicalSemiring",
     "TropicalIntegerSemiring",
     "ViterbiSemiring",
@@ -71,6 +74,7 @@ __all__ = [
     "ArcticSemiring",
     "BOOLEAN",
     "COUNTING",
+    "COUNTING_CAP",
     "TROPICAL",
     "TROPICAL_INT",
     "VITERBI",

@@ -3,6 +3,9 @@
 * :class:`BooleanSemiring` -- ``({False, True}, ∨, ∧)``; absorptive.
 * :class:`CountingSemiring` -- ``(ℕ, +, ·)``; positive, naturally
   ordered, *not* idempotent (naive Datalog evaluation may diverge).
+* :class:`CappedCountingSemiring` -- ``({0..q}, ⊕, ⊗)`` with
+  saturating ops; the ``q``-stable quotient of counting on which
+  fixpoints converge even on cycles.
 * :class:`TropicalSemiring` -- ``(ℕ ∪ {∞}, min, +)``; absorptive.
   Provenance of transitive closure over it is shortest-path weight.
 * :class:`TropicalIntegerSemiring` -- ``(ℤ ∪ {∞}, min, +)`` (the
@@ -26,6 +29,7 @@ from .base import Semiring
 __all__ = [
     "BooleanSemiring",
     "CountingSemiring",
+    "CappedCountingSemiring",
     "TropicalSemiring",
     "TropicalIntegerSemiring",
     "ViterbiSemiring",
@@ -34,6 +38,7 @@ __all__ = [
     "ArcticSemiring",
     "BOOLEAN",
     "COUNTING",
+    "COUNTING_CAP",
     "TROPICAL",
     "TROPICAL_INT",
     "VITERBI",
@@ -94,6 +99,48 @@ class CountingSemiring(Semiring[int]):
 
     def mul(self, a: int, b: int) -> int:
         return a * b
+
+    def leq(self, a: int, b: int) -> bool:
+        return a <= b
+
+
+class CappedCountingSemiring(Semiring[int]):
+    """The truncated counting semiring ``C_q = ({0, …, q}, ⊕, ⊗, 0, 1)``
+    with saturating ``a ⊕ b = min(q, a + b)`` and ``a ⊗ b = min(q, a·b)``.
+
+    The quotient of ``(ℕ, +, ·)`` identifying every count ≥ ``q``
+    ("q-or-more derivations"); truncation ``ℕ → C_q`` is a semiring
+    homomorphism.  Unlike the counting semiring it is ``q``-stable, so
+    fixpoint evaluation converges even on cyclic inputs -- the
+    non-idempotent, non-absorptive convergent case in the
+    naive/semi-naive equivalence tests.
+    """
+
+    idempotent_add = False
+    idempotent_mul = False
+    absorptive = False
+
+    def __init__(self, cap: int = 1024) -> None:
+        if cap < 1:
+            raise ValueError("cap must be at least 1")
+        self.cap = cap
+        self.name = f"counting-cap{cap}"
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    def add(self, a: int, b: int) -> int:
+        total = a + b
+        return total if total < self.cap else self.cap
+
+    def mul(self, a: int, b: int) -> int:
+        product = a * b
+        return product if product < self.cap else self.cap
 
     def leq(self, a: int, b: int) -> bool:
         return a <= b
@@ -261,6 +308,7 @@ class ArcticSemiring(Semiring[float]):
 
 BOOLEAN = BooleanSemiring()
 COUNTING = CountingSemiring()
+COUNTING_CAP = CappedCountingSemiring()
 TROPICAL = TropicalSemiring()
 TROPICAL_INT = TropicalIntegerSemiring()
 VITERBI = ViterbiSemiring()

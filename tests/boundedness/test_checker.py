@@ -6,13 +6,7 @@ from repro.boundedness import (
     empirical_iteration_probe,
     expansion_boundedness_certificate,
 )
-from repro.datalog import (
-    bounded_example,
-    dyck1,
-    parse_program,
-    reachability,
-    transitive_closure,
-)
+from repro.datalog import bounded_example, dyck1, parse_program, transitive_closure
 from repro.grammars import rpq_program
 from repro.workloads import path_graph
 

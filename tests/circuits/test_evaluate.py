@@ -1,6 +1,5 @@
 """Circuit evaluation over semirings."""
 
-import math
 
 import pytest
 

@@ -6,10 +6,10 @@ import pytest
 
 from repro.circuits import canonical_polynomial, evaluate
 from repro.constructions import finite_rpq_circuit
-from repro.datalog import Database, Fact, naive_evaluation, provenance_by_proof_trees
+from repro.datalog import Database, Fact, provenance_by_proof_trees
 from repro.grammars import parse_regex, rpq_program
 from repro.semirings import TROPICAL
-from repro.workloads import random_labeled_digraph, word_path
+from repro.workloads import random_labeled_digraph
 
 
 def reference_polynomial(pattern, edges, source, sink):

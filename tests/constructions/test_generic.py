@@ -1,8 +1,7 @@
 """Theorem 3.1: the generic provenance circuit."""
 
-import pytest
 
-from repro.circuits import canonical_polynomial, evaluate, measure
+from repro.circuits import canonical_polynomial, evaluate
 from repro.constructions import generic_circuit
 from repro.datalog import (
     Database,

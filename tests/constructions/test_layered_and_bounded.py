@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.circuits import canonical_polynomial, evaluate, measure
+from repro.circuits import canonical_polynomial, evaluate
 from repro.constructions import bounded_circuit, dag_circuit, layered_circuit
 from repro.datalog import (
     Database,

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.circuits import canonical_polynomial, evaluate, measure
+from repro.circuits import canonical_polynomial, evaluate
 from repro.constructions import (
     bellman_ford_all_targets,
     bellman_ford_circuit,

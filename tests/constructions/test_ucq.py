@@ -2,7 +2,7 @@
 
 import math
 
-from repro.circuits import canonical_polynomial, evaluate, measure
+from repro.circuits import canonical_polynomial, evaluate
 from repro.constructions import cq_valuations, ucq_circuit
 from repro.datalog import Atom, ConjunctiveQuery, Constant, Database, Fact, Variable
 from repro.semirings import COUNTING, TROPICAL

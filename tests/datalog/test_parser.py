@@ -2,15 +2,7 @@
 
 import pytest
 
-from repro.datalog import (
-    Atom,
-    Constant,
-    ParseError,
-    Variable,
-    parse_atom,
-    parse_program,
-    parse_rule,
-)
+from repro.datalog import Constant, ParseError, Variable, parse_atom, parse_program, parse_rule
 
 
 def test_parse_tc():

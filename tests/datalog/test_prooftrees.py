@@ -12,7 +12,7 @@ from repro.datalog import (
     relevant_grounding,
     transitive_closure,
 )
-from repro.semirings import Monomial, Polynomial, TROPICAL
+from repro.semirings import Polynomial, TROPICAL
 
 
 def tc_ground(db):

@@ -1,0 +1,202 @@
+"""Semi-naive / naive equivalence and the FixpointEngine API.
+
+The semi-naive strategy is Jacobi-ordered (round ``t`` reads round
+``t − 1`` values), so it must reproduce the naive strategy *exactly*:
+same value map, same iteration count, same ``converged`` flag, same
+divergence behaviour on non-stable semirings -- while performing
+strictly fewer rule evaluations whenever convergence is non-uniform.
+"""
+
+import pytest
+
+from repro.circuits import crosscheck_fixpoint
+from repro.constructions import generic_circuit
+from repro.datalog import (
+    DEFAULT_STRATEGY,
+    Database,
+    DivergenceError,
+    Fact,
+    FixpointEngine,
+    dyck1,
+    naive_evaluation,
+    relevant_grounding,
+    seminaive_evaluation,
+    transitive_closure,
+)
+from repro.semirings import BOOLEAN, COUNTING, SORP, TROPICAL, CappedCountingSemiring
+from repro.workloads import cycle_graph, dyck_concatenated_path, random_digraph, random_weights
+
+TC = transitive_closure()
+
+
+def figure1_graph() -> Database:
+    return Database.from_edges(
+        [
+            ("s", "u1"),
+            ("s", "u2"),
+            ("u1", "v1"),
+            ("u1", "v2"),
+            ("u2", "v2"),
+            ("v1", "t"),
+            ("v2", "t"),
+        ]
+    )
+
+
+GRAPHS = {
+    "figure1": figure1_graph,
+    "cycle": lambda: cycle_graph(6),
+    "random": lambda: random_digraph(10, 25, seed=5),
+}
+
+
+def weights_for(semiring, database):
+    """A non-trivial EDB valuation per semiring (None = all-one)."""
+    if semiring is TROPICAL:
+        return random_weights(database, seed=11)
+    if semiring is SORP:
+        return {fact: SORP.var(fact) for fact in database.facts()}
+    return None
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize(
+    "semiring",
+    [BOOLEAN, TROPICAL, CappedCountingSemiring(32), SORP],
+    ids=lambda s: s.name,
+)
+def test_seminaive_matches_naive_fixpoint(semiring, graph_name):
+    database = GRAPHS[graph_name]()
+    weights = weights_for(semiring, database)
+    # The default cap suits absorptive semirings; capped counting is
+    # q-stable and needs ~q rounds to saturate on cycles.
+    max_iterations = 400 if isinstance(semiring, CappedCountingSemiring) else None
+    naive = naive_evaluation(
+        TC, database, semiring, weights=weights, strategy="naive", max_iterations=max_iterations
+    )
+    semi = naive_evaluation(
+        TC, database, semiring, weights=weights, strategy="seminaive", max_iterations=max_iterations
+    )
+    assert naive.converged and semi.converged
+    assert naive.iterations == semi.iterations
+    assert set(naive.values) == set(semi.values)
+    for fact, value in naive.values.items():
+        assert semiring.eq(value, semi.values[fact]), fact
+    assert naive.strategy == "naive" and semi.strategy == "seminaive"
+
+
+def test_seminaive_is_the_default_strategy():
+    assert DEFAULT_STRATEGY == "seminaive"
+    database = figure1_graph()
+    result = naive_evaluation(TC, database, BOOLEAN)
+    assert result.strategy == "seminaive"
+    explicit = seminaive_evaluation(TC, database, BOOLEAN)
+    assert explicit.values == result.values
+
+
+def test_seminaive_dyck1_matches_naive():
+    program = dyck1()
+    database = Database.from_labeled_edges(dyck_concatenated_path(3))
+    naive = naive_evaluation(program, database, BOOLEAN, strategy="naive")
+    semi = naive_evaluation(program, database, BOOLEAN, strategy="seminaive")
+    assert naive.values == semi.values
+    assert naive.iterations == semi.iterations
+
+
+def test_seminaive_does_strictly_less_work_on_deep_graphs():
+    database = random_digraph(24, 72, seed=24)
+    ground = relevant_grounding(TC, database)
+    naive = naive_evaluation(TC, database, BOOLEAN, ground=ground, strategy="naive")
+    semi = naive_evaluation(TC, database, BOOLEAN, ground=ground, strategy="seminaive")
+    assert naive.iterations >= 3  # non-trivial depth, else the ratio is vacuous
+    assert semi.rule_evaluations * 2 <= naive.rule_evaluations
+
+
+@pytest.mark.parametrize("strategy", ["naive", "seminaive"])
+def test_divergence_reported_identically(strategy):
+    database = Database.from_edges([(0, 1), (1, 0), (0, 2)])
+    result = naive_evaluation(
+        TC, database, COUNTING, max_iterations=25, strategy=strategy
+    )
+    assert not result.converged
+    assert result.iterations == 25
+
+
+@pytest.mark.parametrize("strategy", ["naive", "seminaive"])
+def test_divergence_raises_identically(strategy):
+    database = Database.from_edges([(0, 1), (1, 0)])
+    with pytest.raises(DivergenceError):
+        naive_evaluation(
+            TC,
+            database,
+            COUNTING,
+            max_iterations=10,
+            raise_on_divergence=True,
+            strategy=strategy,
+        )
+
+
+def test_diverging_value_maps_agree_round_for_round():
+    database = Database.from_edges([(0, 1), (1, 0), (0, 2)])
+    for rounds in (1, 2, 7, 20):
+        naive = naive_evaluation(
+            TC, database, COUNTING, max_iterations=rounds, strategy="naive"
+        )
+        semi = naive_evaluation(
+            TC, database, COUNTING, max_iterations=rounds, strategy="seminaive"
+        )
+        assert naive.values == semi.values, rounds
+
+
+def test_capped_counting_converges_on_cycle():
+    semiring = CappedCountingSemiring(8)
+    database = Database.from_edges([(0, 1), (1, 0), (0, 2)])
+    naive = naive_evaluation(TC, database, semiring, strategy="naive", max_iterations=100)
+    semi = naive_evaluation(TC, database, semiring, strategy="seminaive", max_iterations=100)
+    assert naive.converged and semi.converged
+    assert naive.values == semi.values
+    # Cyclic derivations saturate at the cap.
+    assert semi.values[Fact("T", (0, 0))] == 8
+
+
+def test_fixpoint_engine_rejects_unknown_strategy():
+    with pytest.raises(ValueError):
+        FixpointEngine("gauss-seidel")
+
+
+def test_fixpoint_engine_none_resolves_to_default():
+    assert FixpointEngine(None).strategy == DEFAULT_STRATEGY
+
+
+def test_engine_boolean_iterations_matches_module_probe():
+    from repro.datalog import boolean_iterations
+
+    database = GRAPHS["random"]()
+    for strategy in ("naive", "seminaive"):
+        assert FixpointEngine(strategy).boolean_iterations(TC, database) == (
+            boolean_iterations(TC, database)
+        )
+
+
+def test_grounding_body_index_is_consistent():
+    ground = relevant_grounding(TC, GRAPHS["random"]())
+    by_body = ground.rules_by_idb_body
+    for fact, positions in by_body.items():
+        for position in positions:
+            assert fact in ground.rules[position].idb_body
+    for position, rule in enumerate(ground.rules):
+        for fact in rule.idb_body:
+            assert position in by_body[fact]
+        assert position in ground.rule_indices_by_head[rule.head]
+
+
+@pytest.mark.parametrize("strategy", ["naive", "seminaive"])
+def test_circuit_crosschecks_against_engine(strategy):
+    database = figure1_graph()
+    weights = random_weights(database, seed=3)
+    facts = [Fact("T", ("s", "t")), Fact("T", ("s", "v2"))]
+    circuit = generic_circuit(TC, database, facts)
+    mismatches = crosscheck_fixpoint(
+        circuit, facts, TC, database, TROPICAL, weights=weights, strategy=strategy
+    )
+    assert mismatches == {}

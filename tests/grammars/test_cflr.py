@@ -1,6 +1,5 @@
 """Weighted CFL-reachability (Definition 5.1)."""
 
-import itertools
 
 import pytest
 

@@ -78,7 +78,7 @@ def test_rpq_program_from_string_and_regex():
     program, eps = rpq_program("a*")
     assert eps  # ε ∈ a*
     assert program.is_basic_chain()
-    from repro.grammars import Regex, SymbolRegex
+    from repro.grammars import SymbolRegex
 
     program2, eps2 = rpq_program(SymbolRegex("a").plus())
     assert not eps2

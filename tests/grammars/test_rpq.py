@@ -1,10 +1,9 @@
 """RPQ evaluation via the DFA product construction."""
 
-import itertools
 
 from repro.datalog import Fact
 from repro.grammars import parse_regex, product_graph, rpq_pairs, solve_rpq
-from repro.semirings import BOOLEAN, TROPICAL
+from repro.semirings import TROPICAL
 
 
 def brute_force_rpq(dfa, edges, max_len=7):

@@ -1,6 +1,5 @@
 """Coverage for remaining public helpers across packages."""
 
-import math
 
 from repro.analysis import dominance_ratio
 from repro.circuits import CircuitBuilder, measure

@@ -1,8 +1,6 @@
 """End-to-end integration tests tying whole theorem pipelines together."""
 
-import math
 
-import pytest
 
 from repro.boundedness import analyze_boundedness, chain_program_boundedness
 from repro.circuits import (
@@ -21,9 +19,9 @@ from repro.constructions import (
     generic_circuit,
     squaring_circuit,
 )
-from repro.datalog import Database, Fact, naive_evaluation, transitive_closure
+from repro.datalog import Database, Fact, transitive_closure
 from repro.grammars import chain_program_to_cfg, parse_regex, rpq_program
-from repro.semirings import BOOLEAN, TROPICAL, VITERBI, positivity_homomorphism
+from repro.semirings import TROPICAL, VITERBI, positivity_homomorphism
 from repro.workloads import path_graph, random_digraph, random_weights
 
 TC = transitive_closure()

@@ -3,7 +3,7 @@ reductions."""
 
 import pytest
 
-from repro.circuits import canonical_polynomial, evaluate, measure
+from repro.circuits import canonical_polynomial, evaluate
 from repro.constructions import bellman_ford_circuit, squaring_circuit
 from repro.datalog import Database, Fact, provenance_by_proof_trees, transitive_closure
 from repro.grammars import parse_regex, rpq_pairs, solve_rpq
@@ -13,7 +13,7 @@ from repro.reductions import (
     transfer_rpq_circuit_to_tc,
 )
 from repro.semirings import BOOLEAN, TROPICAL
-from repro.workloads import random_digraph, random_weights
+from repro.workloads import random_digraph
 
 TC = transitive_closure()
 

@@ -4,10 +4,9 @@ import pytest
 
 from repro.circuits import canonical_polynomial
 from repro.constructions import generic_circuit
-from repro.datalog import Database, Fact, naive_evaluation, provenance_by_proof_trees, transitive_closure
+from repro.datalog import Database, Fact, provenance_by_proof_trees, transitive_closure
 from repro.grammars import CFG, cfl_reachable_pairs, chain_program_for
 from repro.reductions import tc_to_cfg_instance, transfer_cfg_circuit_to_tc
-from repro.semirings import BOOLEAN
 from repro.workloads import layered_graph
 
 TC = transitive_closure()

@@ -2,19 +2,7 @@
 
 import pytest
 
-from repro.semirings import (
-    BOOLEAN,
-    COUNTING,
-    SORP,
-    TROPICAL,
-    VITERBI,
-    Polynomial,
-    boolean_embedding,
-    evaluation_homomorphism,
-    formal_evaluation_homomorphism,
-    positivity_homomorphism,
-    FormalPolynomial,
-)
+from repro.semirings import COUNTING, SORP, TROPICAL, VITERBI, boolean_embedding, evaluation_homomorphism, formal_evaluation_homomorphism, positivity_homomorphism
 
 
 def test_positivity_homomorphism_tropical():

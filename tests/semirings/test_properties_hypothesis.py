@@ -5,17 +5,7 @@ import math
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.semirings import (
-    BOOLEAN,
-    FUZZY,
-    LUKASIEWICZ,
-    SORP,
-    SORP_IDEMPOTENT,
-    TROPICAL,
-    VITERBI,
-    Monomial,
-    Polynomial,
-)
+from repro.semirings import BOOLEAN, FUZZY, LUKASIEWICZ, TROPICAL, VITERBI, Monomial, Polynomial
 
 tropical_values = st.one_of(
     st.just(math.inf), st.integers(min_value=0, max_value=50).map(float)

@@ -1,7 +1,5 @@
 """Trop_k: p-stable semirings beyond the absorptive class."""
 
-import heapq
-import itertools
 
 import pytest
 
