@@ -65,15 +65,19 @@ def fringe_circuit(
     stages: Optional[int] = None,
     fringe_bound: Optional[int] = None,
     ground: Optional[GroundProgram] = None,
+    engine: Optional[str] = None,
 ) -> Circuit:
     """Theorem 6.2's circuit for *facts* (default: all target facts).
 
     *stages* overrides ``K``; *fringe_bound* feeds
-    :func:`default_stage_count`.  Input labels are EDB facts, so
-    ``database.valuation(semiring)`` evaluates the result.
+    :func:`default_stage_count`.  *engine* selects the grounding join
+    engine when *ground* is not supplied (``"indexed"`` | ``"naive"``,
+    see :func:`~repro.datalog.grounding.relevant_grounding`).  Input
+    labels are EDB facts, so ``database.valuation(semiring)``
+    evaluates the result.
     """
     if ground is None:
-        ground = relevant_grounding(program, database)
+        ground = relevant_grounding(program, database, engine=engine)
     if stages is None:
         stages = default_stage_count(ground, fringe_bound)
 

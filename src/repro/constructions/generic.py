@@ -43,6 +43,7 @@ def generic_circuit(
     facts: Optional[Union[Fact, Sequence[Fact]]] = None,
     stages: Optional[int] = None,
     ground: Optional[GroundProgram] = None,
+    engine: Optional[str] = None,
 ) -> Circuit:
     """Build the Theorem 3.1 circuit for *facts* (default: all target
     facts) of *program* on *database*.
@@ -50,13 +51,16 @@ def generic_circuit(
     *stages* defaults to the sound bound ``N`` (number of derivable
     IDB facts); pass a smaller value only with an external guarantee
     (e.g. a boundedness constant -- that case is
-    :func:`repro.constructions.bounded.bounded_circuit`).
+    :func:`repro.constructions.bounded.bounded_circuit`).  *engine*
+    selects the grounding join engine when *ground* is not supplied
+    (``"indexed"`` | ``"naive"``, see
+    :func:`~repro.datalog.grounding.relevant_grounding`).
 
     The circuit's input labels are the EDB :class:`Fact` objects, so
     ``database.valuation(semiring)`` is a ready-made assignment.
     """
     if ground is None:
-        ground = relevant_grounding(program, database)
+        ground = relevant_grounding(program, database, engine=engine)
     idb_facts: List[Fact] = sorted(ground.idb_facts, key=repr)
     if stages is None:
         stages = max(len(idb_facts), 1)

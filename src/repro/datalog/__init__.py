@@ -1,12 +1,15 @@
 """Datalog over semirings (Sections 2.1, 2.3, 2.4 of the paper).
 
 The engine: AST + parser, annotated databases, grounding (full and
-relevant), fixpoint evaluation over any naturally ordered semiring via
-the :class:`FixpointEngine` (semi-naive with indexed deltas by
-default, the paper's naive loop as the selectable reference strategy
--- see :mod:`repro.datalog.seminaive`), proof-tree enumeration (tight
-trees, Prop 2.4), CQ expansions of linear programs (Thm 4.5) and a
-library of the paper's example programs.
+relevant, each served by the indexed join engine by default with the
+naive nested-loop engine as the A/B reference -- see
+:mod:`repro.datalog.grounding` and DESIGN.md §5), fixpoint evaluation
+over any naturally ordered semiring via the :class:`FixpointEngine`
+(semi-naive with indexed deltas by default, the paper's naive loop as
+the selectable reference strategy -- see
+:mod:`repro.datalog.seminaive`), proof-tree enumeration (tight trees,
+Prop 2.4), CQ expansions of linear programs (Thm 4.5) and a library
+of the paper's example programs.
 """
 
 from .ast import Atom, Constant, DatalogError, Fact, Program, Rule, Term, Variable
@@ -28,8 +31,13 @@ from .expansions import (
     unify_atoms,
 )
 from .grounding import (
+    DEFAULT_GROUNDING_ENGINE,
+    GROUNDING_ENGINES,
+    GROUNDING_STATS,
+    GroundingStats,
     GroundProgram,
     GroundRule,
+    count_join_probes,
     derivable_facts,
     full_grounding,
     relevant_grounding,
@@ -42,7 +50,12 @@ from .seminaive import (
     FixpointEngine,
     seminaive_evaluation,
 )
-from .magic import magic_specialize, magic_specialize_sink, specialized_fact
+from .magic import (
+    magic_grounding,
+    magic_specialize,
+    magic_specialize_sink,
+    specialized_fact,
+)
 from .library import (
     bounded_example,
     dyck1,
@@ -77,6 +90,11 @@ __all__ = [
     "ParseError",
     "GroundRule",
     "GroundProgram",
+    "GroundingStats",
+    "GROUNDING_STATS",
+    "GROUNDING_ENGINES",
+    "DEFAULT_GROUNDING_ENGINE",
+    "count_join_probes",
     "full_grounding",
     "relevant_grounding",
     "derivable_facts",
@@ -108,6 +126,7 @@ __all__ = [
     "transitive_closure_nonlinear",
     "magic_specialize",
     "magic_specialize_sink",
+    "magic_grounding",
     "specialized_fact",
     "reachability",
     "bounded_example",

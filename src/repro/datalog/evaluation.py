@@ -130,6 +130,7 @@ def naive_evaluation(
     max_iterations: Optional[int] = None,
     raise_on_divergence: bool = False,
     strategy: Optional[str] = None,
+    grounding_engine: Optional[str] = None,
 ) -> EvaluationResult:
     """Fixpoint evaluation of *program* on *database* over *semiring*.
 
@@ -144,10 +145,13 @@ def naive_evaluation(
     the backend (``"naive"`` | ``"seminaive"``, default
     :data:`~repro.datalog.seminaive.DEFAULT_STRATEGY`, i.e.
     semi-naive).  Both produce identical results round for round.
+    *grounding_engine* picks the join engine used when *ground* is not
+    supplied (``"indexed"`` | ``"naive"``, see
+    :func:`~repro.datalog.grounding.relevant_grounding`).
     """
     from .seminaive import FixpointEngine
 
-    return FixpointEngine(strategy).evaluate(
+    return FixpointEngine(strategy, grounding_engine).evaluate(
         program,
         database,
         semiring,

@@ -8,27 +8,137 @@ constants.  Two strategies are provided:
   definition; exponential in rule width, usable only on tiny inputs.
 
 * :func:`relevant_grounding` -- only ground rules all of whose body
-  facts are actually derivable.  First the set of derivable IDB facts
-  is computed by semi-naive Boolean evaluation, then each rule is
-  joined against (EDB ∪ derivable IDB) facts.  Omitted ground rules
-  would contribute ``0`` to every ICO sum, so provenance polynomials
-  (and therefore all circuits built from the grounding) are unchanged;
-  this is what makes the Theorem 3.1/6.2 constructions practical
-  (DESIGN.md §6).
+  facts are actually derivable.  Omitted ground rules would contribute
+  ``0`` to every ICO sum, so provenance polynomials (and therefore all
+  circuits built from the grounding) are unchanged; this is what makes
+  the Theorem 3.1/6.2 constructions practical (DESIGN.md §2, ablated
+  in DESIGN.md §6).
 
-Joins are performed by backtracking over body atoms with first-bound-
-argument indexing.
+Each strategy is served by one of two interchangeable join *engines*,
+selected with the ``engine`` keyword (DESIGN.md §5):
+
+* ``"indexed"`` (the default) -- a fused, delta-driven grounding pass.
+  The fact store keeps per-predicate hash indexes keyed on the exact
+  constant pattern an atom presents (:class:`_FactIndex.lookup`), body
+  atoms are reordered greedily by selectivity before each join
+  (:func:`_order_body`), and ground rules are emitted incrementally
+  while the Boolean fixpoint is computed -- a single semi-naive pass
+  instead of a fixpoint followed by a from-scratch re-join.  Cost is
+  ``O(Σ bindings actually enumerated)`` with each index probe a dict
+  lookup.
+
+* ``"naive"`` -- the original reference engine: a Boolean semi-naive
+  fixpoint (:func:`derivable_facts`) followed by a backtracking
+  nested-loop re-join of every rule, with only single-argument-position
+  indexing (narrowest index wins, every candidate row is scanned).
+  Kept verbatim for A/B benchmarking and as the oracle for the
+  equivalence tests (``tests/datalog/test_grounding_engines.py``).
+
+Both engines produce the *same* :class:`GroundProgram` (as a set of
+ground rules); only the number of join probes differs.  Probes are
+counted in the module-level :data:`GROUNDING_STATS`, the instrumented
+counter the benchmarks (``benchmarks/bench_ablation_grounding.py``,
+``benchmarks/bench_seminaive.py``) and the regression tests read.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from itertools import product
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
-from .ast import Atom, Constant, DatalogError, Fact, Program, Variable
+from .ast import Atom, Constant, DatalogError, Fact, Program, Rule, Variable
 from .database import Database
 
-__all__ = ["GroundRule", "GroundProgram", "full_grounding", "relevant_grounding", "derivable_facts"]
+__all__ = [
+    "GroundRule",
+    "GroundProgram",
+    "GroundingStats",
+    "GROUNDING_STATS",
+    "GROUNDING_ENGINES",
+    "DEFAULT_GROUNDING_ENGINE",
+    "count_join_probes",
+    "full_grounding",
+    "relevant_grounding",
+    "derivable_facts",
+]
+
+#: The two join engines behind every grounding strategy (DESIGN.md §5).
+GROUNDING_ENGINES = ("indexed", "naive")
+
+#: Engine used when callers do not pick one explicitly.  The indexed
+#: engine computes the identical grounding with strictly fewer join
+#: probes, so it is the default everywhere; ``engine="naive"`` is the
+#: A/B escape hatch.
+DEFAULT_GROUNDING_ENGINE = "indexed"
+
+
+def _resolve_engine(engine: Optional[str]) -> str:
+    if engine is None:
+        return DEFAULT_GROUNDING_ENGINE
+    if engine not in GROUNDING_ENGINES:
+        raise ValueError(
+            f"unknown grounding engine {engine!r}; expected one of {GROUNDING_ENGINES}"
+        )
+    return engine
+
+
+@dataclass
+class GroundingStats:
+    """Instrumentation for the join engines.
+
+    * ``probes`` -- candidate rows handed to the matcher: the unit of
+      join work both engines share, and the metric on which they
+      differ (the indexed engine's pattern lookups return only rows
+      that already agree on every bound position, so far fewer rows
+      are ever probed).
+    * ``matches`` -- probes that extended the substitution.
+    * ``ground_rules`` -- ground-rule instances emitted.
+
+    A single module-level instance, :data:`GROUNDING_STATS`,
+    accumulates across calls; callers reset it around the region they
+    want to measure::
+
+        GROUNDING_STATS.reset()
+        relevant_grounding(program, db, engine="naive")
+        naive_probes = GROUNDING_STATS.probes
+    """
+
+    probes: int = 0
+    matches: int = 0
+    ground_rules: int = 0
+
+    def reset(self) -> None:
+        self.probes = 0
+        self.matches = 0
+        self.ground_rules = 0
+
+
+#: Module-level join instrumentation (see :class:`GroundingStats`).
+GROUNDING_STATS = GroundingStats()
+
+
+def count_join_probes(run):
+    """Run ``run()`` against a reset :data:`GROUNDING_STATS`; return
+    ``(probes, result)``.
+
+    The one measurement protocol shared by the benchmarks and the
+    probe-regression tests, so they cannot drift apart.
+    """
+    GROUNDING_STATS.reset()
+    result = run()
+    return GROUNDING_STATS.probes, result
 
 
 @dataclass(frozen=True)
@@ -37,6 +147,9 @@ class GroundRule:
 
     The grounded head is derived from ``idb_body ∪ edb_body`` by the
     originating rule; ``rule_index`` back-references the program rule.
+    Body tuples preserve the original rule's body-atom order even when
+    the join that discovered the instance ran in a different
+    (selectivity-chosen) order.
     """
 
     head: Fact
@@ -140,26 +253,92 @@ class GroundProgram:
         )
 
 
+Row = Tuple[Hashable, ...]
+
+
 class _FactIndex:
-    """Per-predicate index: tuples, plus (position, value) → tuples."""
+    """Per-predicate fact store with pattern-keyed hash indexes.
+
+    Two access paths share one store:
+
+    * :meth:`lookup` (indexed engine) -- given an atom and a partial
+      substitution, the set of *bound* argument positions and their
+      values form a pattern key; a hash index for that position tuple
+      is built lazily (one pass over the relation, amortized across
+      all later lookups) and the candidate set is a single dict
+      lookup returning only rows that agree on **every** bound
+      position.
+    * :meth:`candidates` (naive engine) -- the historical heuristic:
+      pick the narrowest *single*-position index among the bound
+      positions, or scan the whole relation when nothing is bound.
+      Rows still need a full :func:`_match` because only one position
+      was used for filtering.
+
+    Pattern indexes are maintained incrementally by :meth:`insert`, so
+    lazily built indexes stay correct as derived IDB facts stream in
+    during the semi-naive grounding pass.
+    """
 
     def __init__(self) -> None:
-        self._tuples: Dict[str, List[Tuple[Hashable, ...]]] = {}
-        self._by_arg: Dict[Tuple[str, int, Hashable], List[Tuple[Hashable, ...]]] = {}
-        self._seen: Dict[str, set] = {}
+        self._tuples: Dict[str, List[Row]] = {}
+        self._seen: Dict[str, Set[Row]] = {}
+        # (predicate, bound-position tuple) → {pattern key → rows}
+        self._patterns: Dict[Tuple[str, Tuple[int, ...]], Dict[Tuple, List[Row]]] = {}
+        # predicate → position tuples with a built pattern index
+        self._built: Dict[str, List[Tuple[int, ...]]] = {}
 
     def insert(self, fact: Fact) -> bool:
-        if fact.args in self._seen.setdefault(fact.predicate, set()):
+        seen = self._seen.setdefault(fact.predicate, set())
+        if fact.args in seen:
             return False
-        self._seen[fact.predicate].add(fact.args)
+        seen.add(fact.args)
         self._tuples.setdefault(fact.predicate, []).append(fact.args)
-        for position, value in enumerate(fact.args):
-            self._by_arg.setdefault((fact.predicate, position, value), []).append(fact.args)
+        for positions in self._built.get(fact.predicate, ()):
+            key = tuple(fact.args[i] for i in positions)
+            self._patterns[(fact.predicate, positions)].setdefault(key, []).append(fact.args)
         return True
 
-    def candidates(self, atom: Atom, theta: Mapping[Variable, Constant]) -> Sequence[Tuple]:
-        """Rows possibly matching *atom* under *theta* (narrowest index)."""
-        best: Optional[Sequence[Tuple]] = None
+    def size(self, predicate: str) -> int:
+        return len(self._tuples.get(predicate, ()))
+
+    def contains(self, fact: Fact) -> bool:
+        return fact.args in self._seen.get(fact.predicate, ())
+
+    def _pattern(self, predicate: str, positions: Tuple[int, ...]) -> Dict[Tuple, List[Row]]:
+        key = (predicate, positions)
+        table = self._patterns.get(key)
+        if table is None:
+            table = {}
+            for row in self._tuples.get(predicate, ()):
+                table.setdefault(tuple(row[i] for i in positions), []).append(row)
+            self._patterns[key] = table
+            self._built.setdefault(predicate, []).append(positions)
+        return table
+
+    def _bound_pattern(
+        self, atom: Atom, theta: Mapping[Variable, Constant]
+    ) -> Tuple[Tuple[int, ...], Tuple[Hashable, ...]]:
+        positions: List[int] = []
+        values: List[Hashable] = []
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                positions.append(position)
+                values.append(term.value)
+            elif term in theta:
+                positions.append(position)
+                values.append(theta[term].value)
+        return tuple(positions), tuple(values)
+
+    def lookup(self, atom: Atom, theta: Mapping[Variable, Constant]) -> Sequence[Row]:
+        """Rows agreeing with *atom* on every bound position: O(1) + output."""
+        positions, values = self._bound_pattern(atom, theta)
+        if not positions:
+            return self._tuples.get(atom.predicate, ())
+        return self._pattern(atom.predicate, positions).get(values, ())
+
+    def candidates(self, atom: Atom, theta: Mapping[Variable, Constant]) -> Sequence[Row]:
+        """Naive-engine candidates: narrowest single-position index, else scan."""
+        best: Optional[Sequence[Row]] = None
         for position, term in enumerate(atom.terms):
             value: Optional[Hashable] = None
             if isinstance(term, Constant):
@@ -167,19 +346,16 @@ class _FactIndex:
             elif term in theta:
                 value = theta[term].value
             if value is not None:
-                rows = self._by_arg.get((atom.predicate, position, value), ())
+                rows = self._pattern(atom.predicate, (position,)).get((value,), ())
                 if best is None or len(rows) < len(best):
                     best = rows
         if best is None:
             best = self._tuples.get(atom.predicate, ())
         return best
 
-    def contains(self, fact: Fact) -> bool:
-        return fact.args in self._seen.get(fact.predicate, ())
-
 
 def _match(
-    atom: Atom, row: Tuple[Hashable, ...], theta: Dict[Variable, Constant]
+    atom: Atom, row: Row, theta: Dict[Variable, Constant]
 ) -> Optional[Dict[Variable, Constant]]:
     """Try to extend *theta* so that atom θ = row; None on clash."""
     extension = dict(theta)
@@ -196,39 +372,244 @@ def _match(
     return extension
 
 
+# ---------------------------------------------------------------------------
+# Naive reference engine: single-position candidates, no reordering.
+# ---------------------------------------------------------------------------
+
+
 def _join(
     body: Sequence[Atom], index: _FactIndex, theta: Dict[Variable, Constant]
 ) -> Iterator[Dict[Variable, Constant]]:
-    """All substitutions grounding *body* against *index* (backtracking)."""
+    """All substitutions grounding *body* against *index* (backtracking).
+
+    Atoms are joined in the order given; each candidate row scanned
+    counts one probe in :data:`GROUNDING_STATS`.
+    """
     if not body:
         yield theta
         return
+    stats = GROUNDING_STATS
     first, rest = body[0], body[1:]
     for row in index.candidates(first, theta):
+        stats.probes += 1
         extended = _match(first, row, theta)
         if extended is not None:
+            stats.matches += 1
             yield from _join(rest, index, extended)
 
 
-def derivable_facts(program: Program, database: Database) -> Tuple[FrozenSet[Fact], int]:
-    """Semi-naive Boolean evaluation: (derivable IDB facts, iterations).
+# ---------------------------------------------------------------------------
+# Indexed engine: selectivity ordering + exact-pattern lookups.
+# ---------------------------------------------------------------------------
+
+
+def _order_body(
+    body: Sequence[Atom], index: _FactIndex, bound: Set[Variable]
+) -> List[Atom]:
+    """Greedy selectivity order: most bound terms first, smallest relation
+    breaks ties (DESIGN.md §5).
+
+    ``bound`` seeds the set of already-bound variables (e.g. the
+    variables of a delta atom joined first); after picking an atom its
+    variables count as bound for the rest of the body.  ``O(k²)`` in
+    the body length ``k`` -- negligible next to the join itself.
+    """
+    remaining = list(body)
+    ordered: List[Atom] = []
+    bound = set(bound)
+    while remaining:
+        best_at = 0
+        best_key: Optional[Tuple[int, int]] = None
+        for at, atom in enumerate(remaining):
+            bound_terms = sum(
+                1 for t in atom.terms if isinstance(t, Constant) or t in bound
+            )
+            key = (-bound_terms, index.size(atom.predicate))
+            if best_key is None or key < best_key:
+                best_at, best_key = at, key
+        atom = remaining.pop(best_at)
+        ordered.append(atom)
+        bound.update(atom.variables)
+    return ordered
+
+
+def _join_indexed(
+    body: Sequence[Atom], index: _FactIndex, theta: Dict[Variable, Constant]
+) -> Iterator[Dict[Variable, Constant]]:
+    """Backtracking join over exact-pattern lookups.
+
+    *body* must already be selectivity-ordered; every row returned by
+    :meth:`_FactIndex.lookup` agrees with the atom on all bound
+    positions, so probes are spent only on rows that can fail through
+    repeated variables within the atom.
+    """
+    if not body:
+        yield theta
+        return
+    stats = GROUNDING_STATS
+    first, rest = body[0], body[1:]
+    for row in index.lookup(first, theta):
+        stats.probes += 1
+        extended = _match(first, row, theta)
+        if extended is not None:
+            stats.matches += 1
+            yield from _join_indexed(rest, index, extended)
+
+
+class _SeminaiveGrounder:
+    """The fused pass: Boolean fixpoint and ground-rule emission in one
+    delta-driven sweep (DESIGN.md §5).
+
+    Round 0 joins every rule in full against the input database (IDB
+    relations are usually empty, so recursive rules fail fast after a
+    0-row index lookup).  Round ``t ≥ 1`` re-joins only rules with a
+    body atom over a delta predicate, seeding the join with a delta
+    fact in each IDB position in turn; the remaining atoms are
+    selectivity-ordered and joined against the full index.  Only facts
+    *new to the index* enter the delta (a derived head that was
+    already resident as an input-database fact seeds nothing), so a
+    ground instance is discovered exactly in the round after its last
+    body fact entered the index and never in two different rounds; a
+    per-round substitution key (constants only, cleared every round)
+    removes the within-round duplicates that arise when two body facts
+    are both in the delta.
+
+    This replaces the naive engine's two passes (Boolean fixpoint,
+    then a from-scratch re-join of every rule) and its global
+    ``(rule, head, idb_body, edb_body)`` dedup tuples.
+    """
+
+    def __init__(self, program: Program, database: Database, collect_rules: bool):
+        self.program = program
+        self.collect_rules = collect_rules
+        self.idbs = program.idb_predicates
+        self.index = _FactIndex()
+        for fact in database.facts():
+            self.index.insert(fact)
+        # Per-rule variable order for the dedup key, and body splits in
+        # original atom order (GroundRule bodies keep rule order).
+        self.var_order: List[Tuple[Variable, ...]] = [
+            tuple(sorted(rule.variables, key=lambda v: v.name)) for rule in program.rules
+        ]
+        self.ground_rules: List[GroundRule] = []
+        self.derived: Set[Fact] = set()
+        self.iterations = 0
+
+    def _emit(
+        self,
+        rule_index: int,
+        rule: Rule,
+        theta: Mapping[Variable, Constant],
+        round_seen: Set[Tuple],
+    ) -> Optional[Fact]:
+        key = (rule_index, *[theta[v].value for v in self.var_order[rule_index]])
+        if key in round_seen:
+            return None
+        round_seen.add(key)
+        head = rule.head.substitute(theta).to_fact()
+        if self.collect_rules:
+            idb_body = tuple(
+                a.substitute(theta).to_fact() for a in rule.body if a.predicate in self.idbs
+            )
+            edb_body = tuple(
+                a.substitute(theta).to_fact()
+                for a in rule.body
+                if a.predicate not in self.idbs
+            )
+            self.ground_rules.append(GroundRule(head, idb_body, edb_body, rule_index))
+            GROUNDING_STATS.ground_rules += 1
+        return head
+
+    def run(self) -> "_SeminaiveGrounder":
+        index = self.index
+        derived = self.derived
+        fresh: Set[Fact] = set()
+        round_seen: Set[Tuple] = set()
+
+        # Round 0: full (selectivity-ordered) join of every rule.
+        for rule_index, rule in enumerate(self.program.rules):
+            ordered = _order_body(rule.body, index, set())
+            for theta in _join_indexed(ordered, index, {}):
+                head = self._emit(rule_index, rule, theta, round_seen)
+                if head is not None and head not in derived:
+                    fresh.add(head)
+        self.iterations = 1
+
+        while fresh:
+            self.iterations += 1
+            delta_by_pred: Dict[str, List[Fact]] = {}
+            for fact in sorted(fresh, key=repr):
+                derived.add(fact)
+                # Only facts NEW to the index seed delta joins: a head
+                # that was already resident (an IDB-predicate fact in
+                # the input database) had all its instances discovered
+                # in round 0, and re-seeding would re-emit them.
+                if index.insert(fact):
+                    delta_by_pred.setdefault(fact.predicate, []).append(fact)
+            fresh = set()
+            round_seen.clear()
+            for rule_index, rule in enumerate(self.program.rules):
+                for position, atom in enumerate(rule.body):
+                    delta_facts = delta_by_pred.get(atom.predicate)
+                    if not delta_facts:
+                        continue
+                    rest = [a for at, a in enumerate(rule.body) if at != position]
+                    # Order once per (rule, delta position): the bound set
+                    # is the delta atom's variables whichever fact seeds it,
+                    # and index sizes are stable within a round.
+                    ordered = _order_body(rest, index, set(atom.variables))
+                    for delta_fact in delta_facts:
+                        GROUNDING_STATS.probes += 1
+                        seed = _match(atom, delta_fact.args, {})
+                        if seed is None:
+                            continue
+                        GROUNDING_STATS.matches += 1
+                        for theta in _join_indexed(ordered, index, seed):
+                            head = self._emit(rule_index, rule, theta, round_seen)
+                            if head is not None and head not in derived:
+                                fresh.add(head)
+        return self
+
+
+# ---------------------------------------------------------------------------
+# Public strategies.
+# ---------------------------------------------------------------------------
+
+
+def derivable_facts(
+    program: Program, database: Database, engine: Optional[str] = None
+) -> Tuple[FrozenSet[Fact], int]:
+    """Boolean fixpoint: ``(derivable IDB facts, iterations)``.
 
     The iteration count is the number of rounds until no new fact
     appears -- the Boolean fixpoint iteration of Definition 4.1 used
-    by the empirical boundedness probe.
+    by the empirical boundedness probe; it is identical under both
+    engines.  The indexed engine runs the fused semi-naive pass
+    without emitting ground rules; the naive engine is the historical
+    loop re-joining every rule each round.
     """
+    if _resolve_engine(engine) == "naive":
+        return _derivable_facts_naive(program, database)
+    grounder = _SeminaiveGrounder(program, database, collect_rules=False).run()
+    return frozenset(grounder.derived), grounder.iterations
+
+
+def _derivable_facts_naive(
+    program: Program, database: Database
+) -> Tuple[FrozenSet[Fact], int]:
+    """Reference Boolean fixpoint: full re-join each round (naive engine)."""
     idbs = program.idb_predicates
     index = _FactIndex()
     for fact in database.facts():
         index.insert(fact)
 
-    derived: set[Fact] = set()
-    delta: set[Fact] = set()
+    derived: Set[Fact] = set()
+    delta: Set[Fact] = set()
     iterations = 0
     # Round 0: fire every rule against EDB-only bindings (plus any IDBs
     # derived so far); iterate to fixpoint with delta-driven rounds.
     while True:
-        fresh: set[Fact] = set()
+        fresh: Set[Fact] = set()
         for rule in program.rules:
             requires_delta = iterations > 0
             idb_atoms = rule.idb_atoms(idbs)
@@ -257,9 +638,31 @@ def derivable_facts(program: Program, database: Database) -> Tuple[FrozenSet[Fac
     return frozenset(derived), iterations
 
 
-def relevant_grounding(program: Program, database: Database) -> GroundProgram:
-    """Ground rules whose body facts are all derivable (see module doc)."""
-    derived, _ = derivable_facts(program, database)
+def relevant_grounding(
+    program: Program, database: Database, engine: Optional[str] = None
+) -> GroundProgram:
+    """Ground rules whose body facts are all derivable (see module doc).
+
+    *engine* selects the join engine (default
+    :data:`DEFAULT_GROUNDING_ENGINE`):
+
+    * ``"indexed"`` -- one fused semi-naive pass; cost proportional to
+      the bindings enumerated, with dict-lookup index probes.
+    * ``"naive"`` -- Boolean fixpoint then a from-scratch re-join of
+      every rule; ``O(rounds × Σ candidate rows scanned)``.
+
+    Both return the same set of ground rules (the equivalence is
+    property-tested); only probe counts and rule order differ.
+    """
+    if _resolve_engine(engine) == "naive":
+        return _relevant_grounding_naive(program, database)
+    grounder = _SeminaiveGrounder(program, database, collect_rules=True).run()
+    return GroundProgram(program, grounder.ground_rules)
+
+
+def _relevant_grounding_naive(program: Program, database: Database) -> GroundProgram:
+    """Reference implementation: fixpoint, then re-join every rule."""
+    derived, _ = _derivable_facts_naive(program, database)
     idbs = program.idb_predicates
     index = _FactIndex()
     for fact in database.facts():
@@ -268,7 +671,7 @@ def relevant_grounding(program: Program, database: Database) -> GroundProgram:
         index.insert(fact)
 
     ground_rules: List[GroundRule] = []
-    seen: set[Tuple] = set()
+    seen: Set[Tuple] = set()
     for rule_index, rule in enumerate(program.rules):
         for theta in _join(rule.body, index, {}):
             head = rule.head.substitute(theta).to_fact()
@@ -282,20 +685,90 @@ def relevant_grounding(program: Program, database: Database) -> GroundProgram:
             if key not in seen:
                 seen.add(key)
                 ground_rules.append(GroundRule(head, idb_body, edb_body, rule_index))
+                GROUNDING_STATS.ground_rules += 1
     return GroundProgram(program, ground_rules)
 
 
-def full_grounding(program: Program, database: Database, max_instantiations: int = 2_000_000) -> GroundProgram:
+def full_grounding(
+    program: Program,
+    database: Database,
+    max_instantiations: int = 2_000_000,
+    engine: Optional[str] = None,
+) -> GroundProgram:
     """All groundings over the active domain with EDB body atoms present.
 
     Ground rules whose EDB atoms are absent from the input are dropped
     (their value is identically ``0``); IDB body facts are kept
     unconstrained, exactly as in the paper's grounded program.
+
+    With the ``"naive"`` engine, a rule whose ``|Dom(I)|^{#vars}``
+    cross product exceeds *max_instantiations* raises
+    :class:`DatalogError` up front (the cross product is what that
+    engine enumerates).  The ``"indexed"`` engine instead joins the
+    EDB atoms first and only enumerates the remaining free variables
+    over the domain, so its guard counts the instantiations that
+    would actually be emitted -- a join-cost counting pass per rule,
+    before any ground rule is materialized.
     """
+    if _resolve_engine(engine) == "naive":
+        return _full_grounding_naive(program, database, max_instantiations)
+    return _full_grounding_indexed(program, database, max_instantiations)
+
+
+def _full_grounding_indexed(
+    program: Program, database: Database, max_instantiations: int
+) -> GroundProgram:
+    domain = sorted(database.active_domain(), key=repr)
+    idbs = program.idb_predicates
+    index = _FactIndex()
+    for fact in database.facts():
+        index.insert(fact)
+    ground_rules: List[GroundRule] = []
+    for rule_index, rule in enumerate(program.rules):
+        edb_atoms = [a for a in rule.body if a.predicate not in idbs]
+        ordered = _order_body(edb_atoms, index, set())
+        # The EDB join binds exactly the EDB atoms' variables, so the
+        # free set is rule-invariant.
+        edb_vars = {v for a in edb_atoms for v in a.variables}
+        free = [v for v in sorted(rule.variables, key=lambda v: v.name) if v not in edb_vars]
+        # Guard pass: count bindings before materializing anything, so
+        # an exploding rule is rejected at join cost, not at the cost
+        # (and memory) of building millions of GroundRules first.
+        per_binding = len(domain) ** len(free)
+        total = sum(per_binding for _ in _join_indexed(ordered, index, {}))
+        if total > max_instantiations:
+            raise DatalogError(
+                f"full grounding of rule {rule} would create {total} "
+                f"instantiations (> {max_instantiations}); "
+                "use relevant_grounding instead"
+            )
+        for edb_theta in _join_indexed(ordered, index, {}):
+            for values in product(domain, repeat=len(free)):
+                GROUNDING_STATS.probes += 1
+                theta = dict(edb_theta)
+                theta.update(zip(free, map(Constant, values)))
+                head = rule.head.substitute(theta).to_fact()
+                idb_body = tuple(
+                    a.substitute(theta).to_fact() for a in rule.body if a.predicate in idbs
+                )
+                edb_body = tuple(
+                    a.substitute(theta).to_fact()
+                    for a in rule.body
+                    if a.predicate not in idbs
+                )
+                ground_rules.append(GroundRule(head, idb_body, edb_body, rule_index))
+                GROUNDING_STATS.ground_rules += 1
+    return GroundProgram(program, ground_rules)
+
+
+def _full_grounding_naive(
+    program: Program, database: Database, max_instantiations: int
+) -> GroundProgram:
+    """Reference implementation: enumerate the whole cross product."""
     domain = sorted(database.active_domain(), key=repr)
     idbs = program.idb_predicates
     ground_rules: List[GroundRule] = []
-    seen: set[Tuple] = set()
+    seen: Set[Tuple] = set()
     for rule_index, rule in enumerate(program.rules):
         rule_vars = sorted(rule.variables, key=lambda v: v.name)
         total = len(domain) ** len(rule_vars)
@@ -310,6 +783,7 @@ def full_grounding(program: Program, database: Database, max_instantiations: int
                 {**theta, var: Constant(value)} for theta in assignments for value in domain
             ]
         for theta in assignments:
+            GROUNDING_STATS.probes += 1
             edb_body = tuple(
                 a.substitute(theta).to_fact() for a in rule.body if a.predicate not in idbs
             )
@@ -323,4 +797,5 @@ def full_grounding(program: Program, database: Database, max_instantiations: int
             if key not in seen:
                 seen.add(key)
                 ground_rules.append(GroundRule(head, idb_body, edb_body, rule_index))
+                GROUNDING_STATS.ground_rules += 1
     return GroundProgram(program, ground_rules)

@@ -49,7 +49,12 @@ from ..semirings.base import Semiring
 from .ast import Fact, Program
 from .database import Database
 from .evaluation import DivergenceError, EvaluationResult, _naive_fixpoint
-from .grounding import GroundProgram, derivable_facts, relevant_grounding
+from .grounding import (
+    GroundProgram,
+    _resolve_engine,
+    derivable_facts,
+    relevant_grounding,
+)
 
 __all__ = [
     "NAIVE",
@@ -80,11 +85,21 @@ class FixpointEngine:
     against).  ``strategy=None`` also resolves to the default, so
     callers can thread an optional user-facing knob straight through.
 
+    ``grounding_engine`` independently selects the join engine used
+    when the engine has to ground the program itself
+    (``"indexed"`` | ``"naive"``, default
+    :data:`~repro.datalog.grounding.DEFAULT_GROUNDING_ENGINE`; see
+    :func:`~repro.datalog.grounding.relevant_grounding`).  The two
+    knobs compose freely: strategy picks how the fixpoint iterates
+    over a grounding, grounding_engine picks how that grounding is
+    joined together.
+
     The engine is stateless and cheap to construct; all per-run state
     (grounding, caches, deltas) lives inside :meth:`evaluate`.
     """
 
     strategy: str = DEFAULT_STRATEGY
+    grounding_engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.strategy is None:
@@ -93,6 +108,7 @@ class FixpointEngine:
             raise ValueError(
                 f"unknown fixpoint strategy {self.strategy!r}; expected one of {STRATEGIES}"
             )
+        _resolve_engine(self.grounding_engine)  # validate eagerly
 
     def evaluate(
         self,
@@ -114,7 +130,7 @@ class FixpointEngine:
         semirings.
         """
         if ground is None:
-            ground = relevant_grounding(program, database)
+            ground = relevant_grounding(program, database, engine=self.grounding_engine)
         edb_value = dict(database.valuation(semiring))
         if weights:
             edb_value.update(weights)
@@ -162,8 +178,10 @@ class FixpointEngine:
         :func:`repro.datalog.grounding.derivable_facts` regardless of
         strategy -- both strategies take the identical number of
         rounds, and the set-based closure avoids grounding entirely.
+        The configured ``grounding_engine`` picks the join engine;
+        the round count is engine-independent.
         """
-        _, iterations = derivable_facts(program, database)
+        _, iterations = derivable_facts(program, database, engine=self.grounding_engine)
         return iterations
 
 
@@ -175,10 +193,11 @@ def seminaive_evaluation(
     ground: Optional[GroundProgram] = None,
     max_iterations: Optional[int] = None,
     raise_on_divergence: bool = False,
+    grounding_engine: Optional[str] = None,
 ) -> EvaluationResult:
     """Explicitly semi-naive evaluation; signature mirrors
     :func:`repro.datalog.evaluation.naive_evaluation`."""
-    return FixpointEngine(SEMINAIVE).evaluate(
+    return FixpointEngine(SEMINAIVE, grounding_engine).evaluate(
         program,
         database,
         semiring,
