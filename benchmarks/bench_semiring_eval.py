@@ -6,13 +6,18 @@ evaluation (the "over any absorptive semiring" claims, measured).
 
 (b) Ablation (DESIGN.md §6): linear-time array evaluation vs a naive
 recursive object-graph walk over the same DAG -- the design choice
-that makes circuit-size benchmarks feasible in Python.
+that makes circuit-size benchmarks feasible in Python.  The compiled
+runtime (DESIGN.md §7) rides along as the third rung of the ladder:
+recursion ≪ array interpreter ≤ compiled kernel, all three computing
+the identical value (the dedicated head-to-head with speedup asserts
+is ``bench_eval_runtime.py``).
 """
 
 import sys
+import time
 
 
-from repro.circuits import evaluate
+from repro.circuits import compile_circuit, evaluate, reference_evaluate_all
 from repro.constructions import bellman_ford_circuit
 from repro.datalog import Fact, naive_evaluation, transitive_closure
 from repro.semirings import BOOLEAN, TROPICAL, VITERBI
@@ -76,7 +81,24 @@ def test_semiring_eval_correctness(benchmark):
 
 def test_semiring_eval_ablation_array_vs_recursion(benchmark):
     db, weights, circuit = setup()
-    array_value = evaluate(circuit, TROPICAL, weights)
+    array_value = reference_evaluate_all(circuit, TROPICAL, weights)[circuit.outputs[0]]
+    # The compiled runtime must reproduce the interpreter exactly; time
+    # both one-assignment paths for the §6/§7 ladder report.
+    compiled = compile_circuit(circuit)
+    assert compiled.evaluate(TROPICAL, weights) == array_value
+    reps = 50
+    start = time.perf_counter()
+    for _ in range(reps):
+        reference_evaluate_all(circuit, TROPICAL, weights)
+    interp_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(reps):
+        compiled.evaluate(TROPICAL, weights)
+    compiled_s = time.perf_counter() - start
+    print(
+        f"\n== ladder: interpreter {1e6 * interp_s / reps:.0f}µs/eval vs compiled "
+        f"{1e6 * compiled_s / reps:.0f}µs/eval ({interp_s / compiled_s:.1f}x) =="
+    )
     try:
         recursive_value, steps = naive_recursive_evaluate(circuit, TROPICAL, weights)
         assert TROPICAL.eq(array_value, recursive_value)

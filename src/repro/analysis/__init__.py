@@ -8,7 +8,7 @@ from .fitting import (
     consistent_with,
     dominance_ratio,
 )
-from .report import SweepReport, SweepRow
+from .report import PerfReport, PerfRow, SweepReport, SweepRow
 
 __all__ = [
     "GrowthModel",
@@ -19,4 +19,6 @@ __all__ = [
     "dominance_ratio",
     "SweepReport",
     "SweepRow",
+    "PerfReport",
+    "PerfRow",
 ]

@@ -4,6 +4,12 @@ Formats the sweep measurements the way the paper's Table 1 rows read:
 one line per input scale with measured size/depth, then the best-fit
 growth model and the claimed bound with a PASS/FAIL verdict.  Used by
 every file in ``benchmarks/``.
+
+:class:`PerfReport` is the timing companion: one row per evaluation
+strategy (interpreter, compiled, batched, ...) with throughput and
+the speedup over a designated baseline row -- the table shape
+``bench_eval_runtime.py`` prints and records to
+``BENCH_eval_runtime.json`` (DESIGN.md §7).
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ from typing import List, Optional
 
 from .fitting import best_fit, consistent_with
 
-__all__ = ["SweepRow", "SweepReport"]
+__all__ = ["SweepRow", "SweepReport", "PerfRow", "PerfReport"]
 
 
 @dataclass
@@ -72,6 +78,83 @@ class SweepReport:
             lines.append(
                 f"depth: best fit ~ {depth_fit.best:<10} claimed O({self.claimed_depth})"
                 f" -> {'PASS' if self.depth_ok() else 'FAIL'}"
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print("\n" + self.render())
+
+
+@dataclass
+class PerfRow:
+    """One timed evaluation strategy."""
+
+    label: str
+    seconds: float
+    evaluations: int
+    extra: str = ""
+
+    @property
+    def per_eval_us(self) -> float:
+        """Microseconds per evaluation."""
+        return 1e6 * self.seconds / max(self.evaluations, 1)
+
+
+@dataclass
+class PerfReport:
+    """A throughput table with speedups against a baseline row.
+
+    The *baseline* is the first added row unless named explicitly;
+    speedup is baseline per-evaluation time over the row's -- larger
+    is faster.
+    """
+
+    title: str
+    baseline: Optional[str] = None
+    rows: List[PerfRow] = field(default_factory=list)
+
+    def add(self, label: str, seconds: float, evaluations: int, extra: str = "") -> PerfRow:
+        row = PerfRow(label, seconds, evaluations, extra)
+        self.rows.append(row)
+        return row
+
+    def _baseline_row(self) -> Optional[PerfRow]:
+        if not self.rows:
+            return None
+        if self.baseline is None:
+            return self.rows[0]
+        return next((row for row in self.rows if row.label == self.baseline), self.rows[0])
+
+    def speedup(self, label: str) -> float:
+        """Per-evaluation speedup of *label* over the baseline row."""
+        base = self._baseline_row()
+        row = next(r for r in self.rows if r.label == label)
+        return base.per_eval_us / max(row.per_eval_us, 1e-12)
+
+    def as_records(self) -> List[dict]:
+        """Machine-readable rows (for ``tools/bench_record.py``)."""
+        base = self._baseline_row()
+        return [
+            {
+                "label": row.label,
+                "seconds": row.seconds,
+                "evaluations": row.evaluations,
+                "per_eval_us": row.per_eval_us,
+                "speedup": base.per_eval_us / max(row.per_eval_us, 1e-12),
+                "extra": row.extra,
+            }
+            for row in self.rows
+        ]
+
+    def render(self) -> str:
+        lines = [f"== {self.title} =="]
+        lines.append(f"{'strategy':<28} {'evals':>8} {'total s':>9} {'µs/eval':>10} {'speedup':>8}  extra")
+        base = self._baseline_row()
+        for row in self.rows:
+            speedup = base.per_eval_us / max(row.per_eval_us, 1e-12)
+            lines.append(
+                f"{row.label:<28} {row.evaluations:>8} {row.seconds:>9.4f} "
+                f"{row.per_eval_us:>10.2f} {speedup:>7.1f}x  {row.extra}"
             )
         return "\n".join(lines)
 

@@ -10,6 +10,7 @@ from .checker import (
     BoundednessReport,
     analyze_boundedness,
     chain_program_boundedness,
+    circuit_equivalence_probe,
     empirical_iteration_probe,
     expansion_boundedness_certificate,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "chain_program_boundedness",
     "expansion_boundedness_certificate",
     "empirical_iteration_probe",
+    "circuit_equivalence_probe",
     "analyze_boundedness",
     "equivalent_ucq",
     "ucq_answers",

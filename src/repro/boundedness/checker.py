@@ -18,13 +18,25 @@ Boundedness over the Boolean semiring is undecidable in general
   the Boolean fixpoint on growing inputs and watch the iteration
   count.  Flat ⇒ evidence of boundedness; growing ⇒ *proof* of
   unboundedness on the probed family.
+* :func:`circuit_equivalence_probe` -- the same question asked of
+  *circuits*: sample random Boolean valuations 64 at a time through
+  the bitset-parallel runtime
+  (:func:`repro.circuits.runtime.evaluate_boolean_batch`) and compare
+  two circuits -- e.g. the ``k``-layer truncation against a deeper
+  unrolling -- on every sample.  A mismatch is a concrete
+  unboundedness witness at level ``k``; agreement on a large sample
+  is the Monte-Carlo face of the Corollary 4.7 equivalence (Boolean
+  agreement suffices over ``Chom``).
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..circuits.circuit import Circuit
+from ..circuits.runtime import compile_circuit
 from ..datalog.ast import Program
 from ..datalog.database import Database
 from ..datalog.expansions import ConjunctiveQuery, expansions
@@ -37,6 +49,7 @@ __all__ = [
     "chain_program_boundedness",
     "expansion_boundedness_certificate",
     "empirical_iteration_probe",
+    "circuit_equivalence_probe",
     "analyze_boundedness",
 ]
 
@@ -201,6 +214,43 @@ def empirical_iteration_probe(
         details="mixed iteration profile",
         evidence=evidence,
     )
+
+
+def circuit_equivalence_probe(
+    first: Circuit,
+    second: Circuit,
+    trials: int = 256,
+    seed: int = 0,
+    density: float = 0.5,
+    first_output: Optional[int] = None,
+    second_output: Optional[int] = None,
+) -> Optional[Tuple[List, int]]:
+    """Randomized Boolean equivalence probe between two circuits.
+
+    Draws *trials* random true-variable sets over the union of both
+    circuits' variables (each variable true with probability
+    *density*) and evaluates both circuits on all of them through the
+    bitset-parallel batch runtime -- 64 assignments per ``|``/``&``
+    pass, so the probe costs ``trials / 64`` circuit traversals per
+    side instead of *trials*.
+
+    Returns ``None`` when every sample agrees, otherwise the first
+    disagreeing ``(true_variables, index)`` witness as a tuple of the
+    assignment's true set and its trial index.  Used to cross-examine
+    a claimed boundedness certificate: compare the ``k``-layer
+    circuit against a deeper unrolling of the same program.
+    """
+    rng = random.Random(seed)
+    variables = sorted(set(first.variables()) | set(second.variables()), key=repr)
+    batches = [
+        [var for var in variables if rng.random() < density] for _ in range(trials)
+    ]
+    first_values = compile_circuit(first).evaluate_boolean_batch(batches, first_output)
+    second_values = compile_circuit(second).evaluate_boolean_batch(batches, second_output)
+    for index, (a, b) in enumerate(zip(first_values, second_values)):
+        if a != b:
+            return (batches[index], index)
+    return None
 
 
 def analyze_boundedness(

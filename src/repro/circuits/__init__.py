@@ -6,6 +6,11 @@
   over any semiring, plus :func:`crosscheck_fixpoint`, the bridge that
   compares circuit outputs against the Datalog
   :class:`~repro.datalog.seminaive.FixpointEngine`.
+* :mod:`~repro.circuits.runtime` -- the compiled evaluation runtime
+  (DESIGN.md §7): :class:`CompiledCircuit` with fused per-semiring
+  kernels, :func:`evaluate_batch`, 64-wide bitset-parallel
+  :func:`evaluate_boolean_batch`, and the dirty-cone
+  :class:`IncrementalEvaluator` for sparse re-valuation.
 * :mod:`~repro.circuits.transform` -- circuit → formula expansion
   (Prop 3.3) and Brent/Wegener depth balancing (Thm 3.2).
 * :mod:`~repro.circuits.polynomials` -- canonical ``Sorp(X)``
@@ -15,8 +20,22 @@
 """
 
 from .circuit import OP_ADD, OP_CONST0, OP_CONST1, OP_MUL, OP_VAR, Circuit, CircuitBuilder
-from .evaluate import crosscheck_fixpoint, evaluate, evaluate_all, evaluate_boolean
+from .evaluate import (
+    crosscheck_fixpoint,
+    evaluate,
+    evaluate_all,
+    evaluate_boolean,
+    reference_evaluate_all,
+    reference_evaluate_boolean,
+)
 from .metrics import CircuitMetrics, measure
+from .runtime import (
+    CompiledCircuit,
+    IncrementalEvaluator,
+    compile_circuit,
+    evaluate_batch,
+    evaluate_boolean_batch,
+)
 from .polynomials import (
     canonical_polynomial,
     equivalent_over_absorptive,
@@ -44,7 +63,14 @@ __all__ = [
     "evaluate",
     "evaluate_all",
     "evaluate_boolean",
+    "reference_evaluate_all",
+    "reference_evaluate_boolean",
     "crosscheck_fixpoint",
+    "CompiledCircuit",
+    "compile_circuit",
+    "evaluate_batch",
+    "evaluate_boolean_batch",
+    "IncrementalEvaluator",
     "CircuitMetrics",
     "measure",
     "canonical_polynomial",

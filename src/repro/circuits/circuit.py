@@ -54,7 +54,7 @@ class Circuit:
         Indices of the designated output gates (usually one).
     """
 
-    __slots__ = ("ops", "lhs", "rhs", "labels", "outputs", "_depths")
+    __slots__ = ("ops", "lhs", "rhs", "labels", "outputs", "_depths", "_op_counts", "_compiled")
 
     def __init__(
         self,
@@ -75,6 +75,8 @@ class Circuit:
             if not 0 <= out < len(self.ops):
                 raise ValueError(f"output index {out} out of range")
         self._depths: Optional[List[int]] = None
+        self._op_counts: Optional[tuple] = None
+        self._compiled = None  # CompiledCircuit cache (repro.circuits.runtime)
 
     # ------------------------------------------------------------------
     # Basic metrics
@@ -88,22 +90,42 @@ class Circuit:
         """Number of gates, |F| in the paper."""
         return len(self.ops)
 
+    def _counts(self) -> tuple:
+        """(#⊕, #⊗, #var) computed in one sweep and cached.
+
+        The circuit is immutable, so compute-once is sound; the
+        per-opcode counters used to be fresh O(n) sweeps on every
+        access, and the sweep reports read them per row.
+        """
+        if self._op_counts is None:
+            num_add = num_mul = num_var = 0
+            for op in self.ops:
+                if op == OP_ADD:
+                    num_add += 1
+                elif op == OP_MUL:
+                    num_mul += 1
+                elif op == OP_VAR:
+                    num_var += 1
+            self._op_counts = (num_add, num_mul, num_var)
+        return self._op_counts
+
     @property
     def num_gates(self) -> int:
         """Number of internal (⊕/⊗) gates."""
-        return sum(1 for op in self.ops if op in (OP_ADD, OP_MUL))
+        counts = self._counts()
+        return counts[0] + counts[1]
 
     @property
     def num_add_gates(self) -> int:
-        return sum(1 for op in self.ops if op == OP_ADD)
+        return self._counts()[0]
 
     @property
     def num_mul_gates(self) -> int:
-        return sum(1 for op in self.ops if op == OP_MUL)
+        return self._counts()[1]
 
     @property
     def num_inputs(self) -> int:
-        return sum(1 for op in self.ops if op == OP_VAR)
+        return self._counts()[2]
 
     def variables(self) -> list[Hashable]:
         """Distinct input-variable tags in first-occurrence order."""

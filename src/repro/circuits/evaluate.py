@@ -5,6 +5,19 @@ topological order by construction), so it runs in time linear in the
 circuit size -- the "compressed data structure" guarantee of the
 paper's introduction.
 
+Since ISSUE 3 the public entry points (:func:`evaluate`,
+:func:`evaluate_all`, :func:`evaluate_boolean`) are thin wrappers over
+the compiled evaluation runtime (:mod:`repro.circuits.runtime`,
+DESIGN.md §7): the circuit is compiled once -- typed arrays, a
+deduplicated variable table, per-op instruction streams, fused
+kernels for the numeric semirings -- and the compiled form is cached
+on the (immutable) circuit, so every existing call site transparently
+gets the fast path.  The seed interpreters are kept verbatim as
+:func:`reference_evaluate_all` / :func:`reference_evaluate_boolean`:
+they are the semantics the runtime is property-tested against and the
+baseline the ``bench_eval_runtime`` speedup asserts are measured
+from.
+
 Evaluating over :class:`~repro.semirings.polynomial.SorpSemiring` with
 the identity assignment extracts the circuit's *canonical polynomial*
 (Section 2.5's "produces"), already normalized by absorption; see
@@ -17,8 +30,16 @@ from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, 
 
 from ..semirings.base import Semiring
 from .circuit import OP_ADD, OP_CONST0, OP_CONST1, OP_MUL, OP_VAR, Circuit
+from .runtime import compile_circuit
 
-__all__ = ["evaluate", "evaluate_all", "evaluate_boolean", "crosscheck_fixpoint"]
+__all__ = [
+    "evaluate",
+    "evaluate_all",
+    "evaluate_boolean",
+    "reference_evaluate_all",
+    "reference_evaluate_boolean",
+    "crosscheck_fixpoint",
+]
 
 
 def evaluate(
@@ -34,14 +55,7 @@ def evaluate(
     the circuit's sole output; multiple outputs require an explicit
     index or :func:`evaluate_all`).
     """
-    values = evaluate_all(circuit, semiring, assignment)
-    if output is None:
-        if len(circuit.outputs) != 1:
-            raise ValueError(
-                f"circuit has {len(circuit.outputs)} outputs; pass output= explicitly"
-            )
-        output = circuit.outputs[0]
-    return values[output]
+    return compile_circuit(circuit).evaluate(semiring, assignment, output)
 
 
 def evaluate_all(
@@ -50,6 +64,37 @@ def evaluate_all(
     assignment: Mapping[Hashable, object] | Callable[[Hashable], object],
 ) -> List:
     """Evaluate every node; returns the full value array (linear time)."""
+    return compile_circuit(circuit).evaluate_all(semiring, assignment)
+
+
+def evaluate_boolean(
+    circuit: Circuit,
+    true_variables,
+    output: Optional[int] = None,
+) -> bool:
+    """Fast-path Boolean evaluation: variables in *true_variables* are True.
+
+    Equivalent to evaluating over :data:`repro.semirings.BOOLEAN` with
+    the characteristic assignment, but specialized with bitmask
+    operations (the Boolean semiring is the workhorse of the transfer
+    arguments in Proposition 3.6).  For many assignments at once, use
+    :func:`repro.circuits.runtime.evaluate_boolean_batch`, which packs
+    up to 64 of them into each pass.
+    """
+    return compile_circuit(circuit).evaluate_boolean_batch([true_variables], output)[0]
+
+
+def reference_evaluate_all(
+    circuit: Circuit,
+    semiring: Semiring,
+    assignment: Mapping[Hashable, object] | Callable[[Hashable], object],
+) -> List:
+    """The seed interpreter: one dispatch loop, one assignment at a time.
+
+    Kept as the executable specification of circuit semantics; the
+    compiled runtime must agree with it exactly (see
+    ``tests/circuits/test_runtime.py`` and DESIGN.md §7).
+    """
     lookup = assignment if callable(assignment) else assignment.__getitem__
     zero, one = semiring.zero, semiring.one
     add, mul = semiring.add, semiring.mul
@@ -66,22 +111,21 @@ def evaluate_all(
             values[i] = zero
         elif op == OP_CONST1:
             values[i] = one
-        else:  # pragma: no cover - defensive
+        else:
             raise ValueError(f"unknown opcode {op}")
     return values
 
 
-def evaluate_boolean(
+def reference_evaluate_boolean(
     circuit: Circuit,
     true_variables,
     output: Optional[int] = None,
 ) -> bool:
-    """Fast-path Boolean evaluation: variables in *true_variables* are True.
+    """The seed Boolean interpreter (one assignment per pass).
 
-    Equivalent to evaluating over :data:`repro.semirings.BOOLEAN` with
-    the characteristic assignment, but specialized with Python
-    booleans for speed (the Boolean semiring is the workhorse of the
-    transfer arguments in Proposition 3.6).
+    Raises on unknown opcodes like :func:`reference_evaluate_all`
+    does -- the seed version fell through silently, treating a corrupt
+    opcode as ``False``.
     """
     true_set = set(true_variables)
     ops, lhs, rhs, labels = circuit.ops, circuit.lhs, circuit.rhs, circuit.labels
@@ -95,6 +139,8 @@ def evaluate_boolean(
             values[i] = labels[i] in true_set
         elif op == OP_CONST1:
             values[i] = True
+        elif op != OP_CONST0:
+            raise ValueError(f"unknown opcode {op}")
     if output is None:
         if len(circuit.outputs) != 1:
             raise ValueError("circuit has multiple outputs; pass output=")

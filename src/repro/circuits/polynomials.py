@@ -32,6 +32,7 @@ from ..semirings.polynomial import (
 )
 from .circuit import Circuit
 from .evaluate import evaluate
+from .runtime import compile_circuit
 
 __all__ = [
     "canonical_polynomial",
@@ -107,10 +108,16 @@ def random_equivalence_check(
     variables = sorted(
         set(first.variables()) | set(second.variables()), key=repr
     )
+    # Compile each circuit once and reuse the form across all trials
+    # (repro.circuits.runtime), keeping the seed interpreter's early
+    # exit: the first disagreeing assignment refutes without paying
+    # for the remaining trials.
+    compiled_first = compile_circuit(first)
+    compiled_second = compile_circuit(second)
     for _ in range(trials):
         assignment = {var: rng.choice(pool) for var in variables}
-        v1 = evaluate(first, semiring, assignment, output=first_output)
-        v2 = evaluate(second, semiring, assignment, output=second_output)
+        v1 = compiled_first.evaluate(semiring, assignment, output=first_output)
+        v2 = compiled_second.evaluate(semiring, assignment, output=second_output)
         if not semiring.eq(v1, v2):
             return False
     return True

@@ -25,6 +25,7 @@ from typing import Optional
 
 from ..boundedness.checker import chain_program_boundedness, expansion_boundedness_certificate
 from ..circuits.circuit import Circuit
+from ..circuits.runtime import CompiledCircuit, IncrementalEvaluator, compile_circuit
 from ..datalog.ast import Fact, Program
 from ..datalog.database import Database
 from ..datalog.magic import magic_specialize, specialized_fact
@@ -37,7 +38,14 @@ __all__ = ["ConstructionChoice", "provenance_circuit"]
 
 @dataclass
 class ConstructionChoice:
-    """The selected construction and the reasoning trail."""
+    """The selected construction and the reasoning trail.
+
+    The choice is also the natural serving handle: the paper's usage
+    pattern is "build one circuit, answer many valuation queries", so
+    the compiled-runtime entry points (DESIGN.md §7) are exposed here
+    directly.  All of them share one cached
+    :class:`~repro.circuits.runtime.CompiledCircuit`.
+    """
 
     circuit: Circuit
     construction: str
@@ -46,6 +54,27 @@ class ConstructionChoice:
 
     def __repr__(self) -> str:
         return f"ConstructionChoice({self.construction}, {self.theorem}: {self.reason})"
+
+    def compiled(self) -> CompiledCircuit:
+        """The circuit frozen for repeated evaluation (cached)."""
+        return compile_circuit(self.circuit)
+
+    def evaluate(self, semiring, assignment, output=None):
+        """One valuation query against the compiled circuit."""
+        return self.compiled().evaluate(semiring, assignment, output)
+
+    def evaluate_batch(self, semiring, assignments, output=None):
+        """Many valuation queries, one compile (see ``evaluate_batch``)."""
+        return self.compiled().evaluate_batch(semiring, assignments, output)
+
+    def evaluate_boolean_batch(self, batches, output=None, word_size=64):
+        """Bitset-parallel Boolean queries, 64 per pass."""
+        return self.compiled().evaluate_boolean_batch(batches, output, word_size)
+
+    def serve(self, semiring, assignment) -> IncrementalEvaluator:
+        """An incremental evaluator seeded with *assignment* -- the
+        "one EDB weight changed, re-answer the query" scenario."""
+        return IncrementalEvaluator(self.compiled(), semiring, assignment)
 
 
 def provenance_circuit(

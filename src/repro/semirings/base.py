@@ -58,6 +58,19 @@ class Semiring(ABC, Generic[T]):
     naturally_ordered: bool = True
     positive: bool = True
 
+    #: Optional closure-compiler specializations (DESIGN.md §7): pure
+    #: Python expression templates over the placeholders ``{a}`` and
+    #: ``{b}`` that are semantically identical to :meth:`add` /
+    #: :meth:`mul`.  When both are set, the circuit evaluation runtime
+    #: (:mod:`repro.circuits.runtime`) ``exec``-generates a kernel
+    #: with the two operations fused into local-variable expressions
+    #: -- no method call per gate.  Templates must be side-effect-free
+    #: and closed (no references to ``self``); a placeholder may be
+    #: substituted more than once.  ``None`` (the default) selects the
+    #: generic kernel, which calls the bound methods.
+    compiled_add_expr: str | None = None
+    compiled_mul_expr: str | None = None
+
     # ------------------------------------------------------------------
     # Core interface
     # ------------------------------------------------------------------

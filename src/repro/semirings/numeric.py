@@ -57,6 +57,8 @@ class BooleanSemiring(Semiring[bool]):
     idempotent_add = True
     idempotent_mul = True
     absorptive = True
+    compiled_add_expr = "({a} or {b})"
+    compiled_mul_expr = "({a} and {b})"
 
     @property
     def zero(self) -> bool:
@@ -85,6 +87,8 @@ class CountingSemiring(Semiring[int]):
     idempotent_add = False
     idempotent_mul = False
     absorptive = False
+    compiled_add_expr = "({a} + {b})"
+    compiled_mul_expr = "({a} * {b})"
 
     @property
     def zero(self) -> int:
@@ -158,6 +162,8 @@ class TropicalSemiring(Semiring[float]):
     idempotent_add = True
     idempotent_mul = False
     absorptive = True
+    compiled_add_expr = "({a} if {a} <= {b} else {b})"
+    compiled_mul_expr = "({a} + {b})"
 
     @property
     def zero(self) -> float:
@@ -197,6 +203,8 @@ class ViterbiSemiring(Semiring[float]):
     idempotent_add = True
     idempotent_mul = False
     absorptive = True
+    compiled_add_expr = "({a} if {a} >= {b} else {b})"
+    compiled_mul_expr = "({a} * {b})"
 
     @property
     def zero(self) -> float:
@@ -227,6 +235,8 @@ class FuzzySemiring(Semiring[float]):
     idempotent_add = True
     idempotent_mul = True
     absorptive = True
+    compiled_add_expr = "({a} if {a} >= {b} else {b})"
+    compiled_mul_expr = "({a} if {a} <= {b} else {b})"
 
     @property
     def zero(self) -> float:
@@ -258,6 +268,8 @@ class LukasiewiczSemiring(Semiring[float]):
     idempotent_mul = False
     absorptive = True
     positive = False
+    compiled_add_expr = "({a} if {a} >= {b} else {b})"
+    compiled_mul_expr = "(({a} + {b} - 1.0) if ({a} + {b}) > 1.0 else 0.0)"
 
     @property
     def zero(self) -> float:
@@ -290,6 +302,8 @@ class ArcticSemiring(Semiring[float]):
     idempotent_add = True
     idempotent_mul = False
     absorptive = False
+    compiled_add_expr = "({a} if {a} >= {b} else {b})"
+    compiled_mul_expr = "({a} + {b})"
 
     @property
     def zero(self) -> float:

@@ -112,3 +112,28 @@ def test_analyze_no_method():
 def test_report_repr():
     report = chain_program_boundedness(transitive_closure())
     assert "UNBOUNDED" in repr(report)
+
+
+def test_circuit_equivalence_probe_agrees_and_refutes():
+    """The bitset-batched probe: truncating the Bellman-Ford circuit at
+    enough layers is equivalence, truncating a long path too early is a
+    concrete witness."""
+    from repro.boundedness import circuit_equivalence_probe
+    from repro.constructions import bellman_ford_circuit
+    from repro.workloads import path_graph as _path
+
+    db = _path(6)
+    full = bellman_ford_circuit(db, 0, 5)
+    same = bellman_ford_circuit(db, 0, 5, rounds=5)
+    assert circuit_equivalence_probe(full, same, trials=200, seed=3) is None
+    truncated = bellman_ford_circuit(db, 0, 5, rounds=2)
+    witness = circuit_equivalence_probe(full, truncated, trials=200, seed=3)
+    assert witness is not None
+    true_variables, index = witness
+    assert 0 <= index < 200
+    # the witness really separates the two circuits
+    from repro.circuits import evaluate_boolean
+
+    assert evaluate_boolean(full, true_variables) != evaluate_boolean(
+        truncated, true_variables
+    )

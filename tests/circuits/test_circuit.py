@@ -163,3 +163,23 @@ def test_pretty_and_repr():
     c = build_simple()
     assert "Circuit(size=6" in repr(c)
     assert "output" in c.pretty()
+
+
+def test_gate_counts_cached_and_correct():
+    """The per-opcode counters are one cached sweep, not O(n) per access
+    (the sweep reports read them repeatedly per row); the circuit is
+    immutable so compute-once needs no invalidation."""
+    c = build_simple()
+    expected_add = sum(1 for op in c.ops if op == OP_ADD)
+    expected_mul = sum(1 for op in c.ops if op == OP_MUL)
+    expected_var = sum(1 for op in c.ops if op == 0)
+    assert c._op_counts is None  # lazy until first access
+    assert c.num_add_gates == expected_add
+    assert c._op_counts is not None
+    assert c.num_mul_gates == expected_mul
+    assert c.num_inputs == expected_var
+    assert c.num_gates == expected_add + expected_mul
+    # repeated access hits the cache (same tuple object)
+    first = c._op_counts
+    assert c.num_gates == expected_add + expected_mul
+    assert c._op_counts is first

@@ -80,3 +80,37 @@ def test_choice_repr_mentions_theorem():
     db = Database.from_edges([(0, 1)])
     choice = provenance_circuit(transitive_closure(), db, Fact("T", (0, 1)))
     assert "Theorem" in repr(choice)
+
+
+def test_construction_choice_serving_api():
+    """The choice exposes the compiled runtime: batch, bitset and
+    incremental evaluation all share one CompiledCircuit."""
+    from repro.circuits import reference_evaluate_all, reference_evaluate_boolean
+    from repro.semirings import TROPICAL
+
+    db = random_digraph(6, 12, seed=1)
+    fact = Fact("T", (0, 5))
+    choice = provenance_circuit(transitive_closure(), db, fact)
+    circuit = choice.circuit
+    assert choice.compiled() is choice.compiled()  # cached
+
+    weights = {f: 1.0 for f in db.facts()}
+    out = circuit.outputs[0]
+    expected = reference_evaluate_all(circuit, TROPICAL, weights)[out]
+    assert choice.evaluate(TROPICAL, weights) == expected
+    assert choice.evaluate_batch(TROPICAL, [weights, weights]) == [expected, expected]
+
+    batches = [[f for i, f in enumerate(sorted(db.facts(), key=repr)) if i % 2 == parity]
+               for parity in (0, 1)]
+    assert choice.evaluate_boolean_batch(batches) == [
+        reference_evaluate_boolean(circuit, trues) for trues in batches
+    ]
+
+    served = choice.serve(TROPICAL, weights)
+    assert served.value() == expected
+    some_fact = sorted(db.facts(), key=repr)[0]
+    updated = dict(weights)
+    updated[some_fact] = 7.0
+    assert served.update({some_fact: 7.0}) == [
+        reference_evaluate_all(circuit, TROPICAL, updated)[out]
+    ]

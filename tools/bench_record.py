@@ -1,0 +1,77 @@
+"""Append machine-readable benchmark results to a JSON trajectory file.
+
+``BENCH_eval_runtime.json`` (repo root) is a JSON array of run
+records; each record carries the machine fingerprint plus whatever
+payload the benchmark hands over (the ``PerfReport.as_records()``
+rows and the asserted speedups).  Benchmarks append one record per
+run, so the file accumulates the perf trajectory across PRs -- CI
+uploads it as an artifact on every run.
+
+Usage from a benchmark::
+
+    from tools.bench_record import append_record
+    append_record(path, "eval_runtime/tropical_single", {"rows": ...})
+
+or from the shell::
+
+    python tools/bench_record.py BENCH_eval_runtime.json my_bench '{"x": 1}'
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Mapping
+
+
+def load_records(path: str | Path) -> list:
+    """The current trajectory: a list of run records (empty file ok)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    text = path.read_text().strip()
+    if not text:
+        return []
+    records = json.loads(text)
+    if not isinstance(records, list):
+        raise ValueError(f"{path} must hold a JSON array of records")
+    return records
+
+
+def append_record(path: str | Path, bench: str, payload: Mapping) -> dict:
+    """Append one run record for *bench* to *path* and return it.
+
+    The record is the *payload* plus a reproducibility fingerprint:
+    UTC timestamp, Python version and platform string.  Payload keys
+    win on collision so a benchmark can override the defaults.
+    """
+    path = Path(path)
+    records = load_records(path)
+    record = {
+        "bench": bench,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "implementation": platform.python_implementation(),
+    }
+    record.update(payload)
+    records.append(record)
+    path.write_text(json.dumps(records, indent=2) + "\n")
+    return record
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print("usage: bench_record.py <trajectory.json> <bench-name> <payload-json>", file=sys.stderr)
+        return 2
+    path, bench, payload = argv
+    record = append_record(path, bench, json.loads(payload))
+    print(json.dumps(record, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
