@@ -71,8 +71,9 @@ def fringe_circuit(
 
     *stages* overrides ``K``; *fringe_bound* feeds
     :func:`default_stage_count`.  *engine* selects the grounding join
-    engine when *ground* is not supplied (``"indexed"`` | ``"naive"``,
-    see :func:`~repro.datalog.grounding.relevant_grounding`).  Input
+    engine when *ground* is not supplied (``"indexed"`` | ``"naive"``
+    | ``"columnar"``, see
+    :func:`~repro.datalog.grounding.relevant_grounding`).  Input
     labels are EDB facts, so ``database.valuation(semiring)``
     evaluates the result.
     """

@@ -53,7 +53,7 @@ def generic_circuit(
     (e.g. a boundedness constant -- that case is
     :func:`repro.constructions.bounded.bounded_circuit`).  *engine*
     selects the grounding join engine when *ground* is not supplied
-    (``"indexed"`` | ``"naive"``, see
+    (``"indexed"`` | ``"naive"`` | ``"columnar"``, see
     :func:`~repro.datalog.grounding.relevant_grounding`).
 
     The circuit's input labels are the EDB :class:`Fact` objects, so

@@ -1,9 +1,11 @@
 """Datalog over semirings (Sections 2.1, 2.3, 2.4 of the paper).
 
-The engine: AST + parser, annotated databases, grounding (full and
-relevant, each served by the indexed join engine by default with the
-naive nested-loop engine as the A/B reference -- see
-:mod:`repro.datalog.grounding` and DESIGN.md §5), fixpoint evaluation
+The engine: AST + parser, annotated databases backed by an interned
+columnar fact store (:mod:`repro.datalog.store`, DESIGN.md §8),
+grounding (full and relevant, each served by the indexed join engine
+by default with the columnar id-space engine and the naive
+nested-loop engine selectable -- see :mod:`repro.datalog.grounding`
+and DESIGN.md §5), fixpoint evaluation
 over any naturally ordered semiring via the :class:`FixpointEngine`
 (semi-naive with indexed deltas by default, the paper's naive loop as
 the selectable reference strategy -- see
@@ -50,6 +52,13 @@ from .seminaive import (
     FixpointEngine,
     seminaive_evaluation,
 )
+from .store import (
+    GLOBAL_SYMBOLS,
+    ColumnarRelation,
+    ColumnarStore,
+    DeltaView,
+    SymbolTable,
+)
 from .magic import (
     magic_grounding,
     magic_specialize,
@@ -91,6 +100,11 @@ __all__ = [
     "GroundRule",
     "GroundProgram",
     "GroundingStats",
+    "SymbolTable",
+    "GLOBAL_SYMBOLS",
+    "ColumnarRelation",
+    "ColumnarStore",
+    "DeltaView",
     "GROUNDING_STATS",
     "GROUNDING_ENGINES",
     "DEFAULT_GROUNDING_ENGINE",

@@ -4,6 +4,17 @@ Each EDB fact carries an optional *weight* (semiring annotation) and
 is itself the provenance *tag* -- the ``x_α`` variable of Section 2.4
 that circuits use as input-gate labels.  :meth:`Database.valuation`
 turns the stored weights into a circuit-evaluation assignment.
+
+The class is the user-facing façade over two physical layouts: the
+historical per-predicate Python sets (direct membership tests, cheap
+single-fact writes) and a lazily materialized interned
+:class:`~repro.datalog.store.ColumnarStore` (DESIGN.md §8) that the
+``engine="columnar"`` grounding backend consumes.  Derived views that
+used to rescan every fact on each call -- the sorted fact list, the
+active domain, per-semiring valuations and the columnar store -- are
+cached and invalidated on mutation, so hot paths (grounding, repeated
+evaluation, circuit construction) pay the scan once per database
+state, not once per call.
 """
 
 from __future__ import annotations
@@ -12,6 +23,7 @@ from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Mapping, Optio
 
 from ..semirings.base import Semiring
 from .ast import Fact
+from .store import ColumnarStore, SymbolTable
 
 __all__ = ["Database"]
 
@@ -19,9 +31,23 @@ __all__ = ["Database"]
 class Database:
     """A set of EDB facts with optional semiring annotations."""
 
+    #: Distinct semirings cached per database state (FIFO eviction).
+    _VALUATION_CACHE_SIZE = 8
+
     def __init__(self, facts: Iterable[Fact] = (), weights: Optional[Mapping[Fact, object]] = None):
         self._relations: Dict[str, set[Tuple[Hashable, ...]]] = {}
         self._weights: Dict[Fact, object] = {}
+        # Derived-view caches, all invalidated by _invalidate() when a
+        # fact lands.  The valuation cache is keyed by id(semiring)
+        # with the semiring kept in the value so the id stays pinned.
+        self._facts_cache: Optional[Tuple[Fact, ...]] = None
+        self._domain_cache: Optional[FrozenSet[Hashable]] = None
+        self._valuation_cache: Dict[int, Tuple[Semiring, Dict[Fact, object]]] = {}
+        self._columnar_cache: Optional[ColumnarStore] = None
+        # Interning scope for columnar materialization: None = the
+        # process-wide GLOBAL_SYMBOLS; set by columnar_store(symbols=...)
+        # and sticky across cache invalidations.
+        self._columnar_symbols: Optional[SymbolTable] = None
         for fact in facts:
             self.add_fact(fact)
         if weights:
@@ -36,10 +62,21 @@ class Database:
         return self.add_fact(fact, weight)
 
     def add_fact(self, fact: Fact, weight: object = None) -> Fact:
-        self._relations.setdefault(fact.predicate, set()).add(fact.args)
+        relation = self._relations.setdefault(fact.predicate, set())
+        if fact.args not in relation:
+            relation.add(fact.args)
+            self._invalidate()
         if weight is not None:
             self._weights[fact] = weight
+            self._valuation_cache.clear()
         return fact
+
+    def _invalidate(self) -> None:
+        """Drop every derived-view cache (a fact was inserted)."""
+        self._facts_cache = None
+        self._domain_cache = None
+        self._valuation_cache.clear()
+        self._columnar_cache = None
 
     @classmethod
     def from_edges(
@@ -77,10 +114,17 @@ class Database:
         return frozenset(self._relations.get(predicate, ()))
 
     def facts(self, predicate: Optional[str] = None) -> Iterator[Fact]:
-        predicates = (predicate,) if predicate else sorted(self._relations)
-        for pred in predicates:
-            for args in sorted(self._relations.get(pred, ()), key=repr):
-                yield Fact(pred, args)
+        if predicate is None:
+            if self._facts_cache is None:
+                self._facts_cache = tuple(
+                    Fact(pred, args)
+                    for pred in sorted(self._relations)
+                    for args in sorted(self._relations.get(pred, ()), key=repr)
+                )
+            yield from self._facts_cache
+            return
+        for args in sorted(self._relations.get(predicate, ()), key=repr):
+            yield Fact(predicate, args)
 
     def __contains__(self, fact: Fact) -> bool:
         return fact.args in self._relations.get(fact.predicate, ())
@@ -94,12 +138,53 @@ class Database:
         return len(self)
 
     def active_domain(self) -> FrozenSet[Hashable]:
-        """``Dom(I)``: all constants occurring in the input."""
-        domain: set[Hashable] = set()
-        for tuples in self._relations.values():
-            for args in tuples:
-                domain.update(args)
-        return frozenset(domain)
+        """``Dom(I)``: all constants occurring in the input.
+
+        Cached per database state -- callers like full grounding and
+        the columnar grounder may ask repeatedly between mutations.
+        """
+        if self._domain_cache is None:
+            domain: set[Hashable] = set()
+            for tuples in self._relations.values():
+                for args in tuples:
+                    domain.update(args)
+            self._domain_cache = frozenset(domain)
+        return self._domain_cache
+
+    # -- columnar materialization ------------------------------------------
+
+    def columnar_store(self, symbols: Optional["SymbolTable"] = None) -> ColumnarStore:
+        """The interned columnar snapshot of this database (DESIGN.md §8).
+
+        Materialized lazily on first use against the process-wide
+        symbol table and cached until the next mutation.  The returned
+        store is shared: consumers that append derived facts (the
+        ``engine="columnar"`` grounder) must take a
+        :meth:`~repro.datalog.store.ColumnarStore.copy` first;
+        read-only consumers (pattern lookups, scans) may use it
+        directly, and any indexes they build stay cached here.
+
+        Pass a private *symbols* table to keep this database's
+        constants out of the process-wide table (the global table is
+        never pruned, so long-lived processes churning through many
+        short-lived databases with unique constants should scope
+        interning to the database's lifetime).  The table *sticks*:
+        it replaces the cache and every later materialization of this
+        database -- including the ones ``engine="columnar"`` grounding
+        runs trigger internally -- interns into it, so the escape
+        hatch is one call, not a parameter on every entry point.
+        Scope **before** the first columnar use: constants a prior
+        no-arg materialization already interned into the global table
+        cannot be un-interned.
+        """
+        if symbols is not None and symbols is not self._columnar_symbols:
+            self._columnar_symbols = symbols
+            self._columnar_cache = None
+        if self._columnar_cache is None:
+            self._columnar_cache = ColumnarStore.from_facts(
+                self.facts(), self._columnar_symbols
+            )
+        return self._columnar_cache
 
     # -- annotations ---------------------------------------------------------
 
@@ -110,19 +195,33 @@ class Database:
         if fact not in self:
             raise KeyError(f"{fact} not in database")
         self._weights[fact] = weight
+        self._valuation_cache.clear()
 
     def valuation(self, semiring: Semiring) -> Dict[Fact, object]:
         """Fact → semiring value; unannotated facts default to ``1``.
 
         This is the assignment ``x_α ↦ value`` used both by naive
         Datalog evaluation and by circuit evaluation, so the two can
-        be cross-checked gate-for-gate.
+        be cross-checked gate-for-gate.  Computed once per
+        ``(database state, semiring)`` and cached; a fresh dict copy
+        is returned each call so callers may mutate their view.
         """
-        out: Dict[Fact, object] = {}
-        for fact in self.facts():
-            weight = self._weights.get(fact)
-            out[fact] = semiring.one if weight is None else weight
-        return out
+        cached = self._valuation_cache.get(id(semiring))
+        if cached is None:
+            out: Dict[Fact, object] = {}
+            one = semiring.one
+            weights = self._weights
+            for fact in self.facts():
+                weight = weights.get(fact)
+                out[fact] = one if weight is None else weight
+            # Bounded FIFO: callers constructing fresh semiring objects
+            # per query must not pin one full valuation (plus the
+            # semiring) per call for the life of the database.
+            while len(self._valuation_cache) >= self._VALUATION_CACHE_SIZE:
+                self._valuation_cache.pop(next(iter(self._valuation_cache)))
+            self._valuation_cache[id(semiring)] = (semiring, out)
+            return dict(out)
+        return dict(cached[1])
 
     def copy(self) -> "Database":
         clone = Database()
@@ -130,6 +229,10 @@ class Database:
             for args in tuples:
                 clone.add(pred, *args)
         clone._weights.update(self._weights)
+        # The interning scope travels with the data: a clone of a
+        # privately-scoped database must not leak its constants into
+        # the process-wide table on its first columnar use.
+        clone._columnar_symbols = self._columnar_symbols
         return clone
 
     def __repr__(self) -> str:

@@ -146,7 +146,7 @@ def naive_evaluation(
     :data:`~repro.datalog.seminaive.DEFAULT_STRATEGY`, i.e.
     semi-naive).  Both produce identical results round for round.
     *grounding_engine* picks the join engine used when *ground* is not
-    supplied (``"indexed"`` | ``"naive"``, see
+    supplied (``"indexed"`` | ``"naive"`` | ``"columnar"``, see
     :func:`~repro.datalog.grounding.relevant_grounding`).
     """
     from .seminaive import FixpointEngine

@@ -14,8 +14,8 @@ constants.  Two strategies are provided:
   the Theorem 3.1/6.2 constructions practical (DESIGN.md §2, ablated
   in DESIGN.md §6).
 
-Each strategy is served by one of two interchangeable join *engines*,
-selected with the ``engine`` keyword (DESIGN.md §5):
+Each strategy is served by one of three interchangeable join
+*engines*, selected with the ``engine`` keyword (DESIGN.md §5, §8):
 
 * ``"indexed"`` (the default) -- a fused, delta-driven grounding pass.
   The fact store keeps per-predicate hash indexes keyed on the exact
@@ -27,18 +27,29 @@ selected with the ``engine`` keyword (DESIGN.md §5):
   ``O(Σ bindings actually enumerated)`` with each index probe a dict
   lookup.
 
+* ``"columnar"`` -- the same fused, delta-driven pass run entirely in
+  *id space* on the interned columnar store of
+  :mod:`repro.datalog.store` (DESIGN.md §8): constants are interned
+  once into integer ids, relations are parallel ``array('q')``
+  columns, pattern lookups are ``bisect`` ranges over contiguous
+  sorted-id arrays, and semi-naive rounds consume the store's
+  :class:`~repro.datalog.store.DeltaView` windows.  Facts are decoded
+  back to :class:`Fact` objects only when ground rules are emitted.
+
 * ``"naive"`` -- the original reference engine: a Boolean semi-naive
   fixpoint (:func:`derivable_facts`) followed by a backtracking
   nested-loop re-join of every rule, with only single-argument-position
   indexing (narrowest index wins, every candidate row is scanned).
   Kept verbatim for A/B benchmarking and as the oracle for the
-  equivalence tests (``tests/datalog/test_grounding_engines.py``).
+  equivalence tests (``tests/datalog/test_grounding_engines.py``,
+  ``tests/datalog/test_columnar_store.py``).
 
-Both engines produce the *same* :class:`GroundProgram` (as a set of
+All engines produce the *same* :class:`GroundProgram` (as a set of
 ground rules); only the number of join probes differs.  Probes are
 counted in the module-level :data:`GROUNDING_STATS`, the instrumented
 counter the benchmarks (``benchmarks/bench_ablation_grounding.py``,
-``benchmarks/bench_seminaive.py``) and the regression tests read.
+``benchmarks/bench_seminaive.py``,
+``benchmarks/bench_columnar_store.py``) and the regression tests read.
 """
 
 from __future__ import annotations
@@ -74,13 +85,14 @@ __all__ = [
     "derivable_facts",
 ]
 
-#: The two join engines behind every grounding strategy (DESIGN.md §5).
-GROUNDING_ENGINES = ("indexed", "naive")
+#: The join engines behind every grounding strategy (DESIGN.md §5, §8).
+GROUNDING_ENGINES = ("indexed", "naive", "columnar")
 
 #: Engine used when callers do not pick one explicitly.  The indexed
 #: engine computes the identical grounding with strictly fewer join
-#: probes, so it is the default everywhere; ``engine="naive"`` is the
-#: A/B escape hatch.
+#: probes than naive, so it is the default everywhere;
+#: ``engine="naive"`` is the A/B escape hatch and ``engine="columnar"``
+#: the interned array-backed backend of :mod:`repro.datalog.store`.
 DEFAULT_GROUNDING_ENGINE = "indexed"
 
 
@@ -223,6 +235,19 @@ class GroundProgram:
             }
         return self._rule_indices_by_head
 
+    def rule_keys(self) -> FrozenSet[Tuple]:
+        """The grounding as a set of order-independent rule identities
+        ``(rule_index, head, idb_body, edb_body)``.
+
+        Engines emit the same ground rules in different orders, so
+        this is the identity the engine-equivalence tests and the
+        head-to-head benchmarks compare on.
+        """
+        return frozenset(
+            (rule.rule_index, rule.head, rule.idb_body, rule.edb_body)
+            for rule in self.rules
+        )
+
     @property
     def idb_facts(self) -> FrozenSet[Fact]:
         return frozenset(self.by_head)
@@ -294,6 +319,8 @@ class _FactIndex:
         seen.add(fact.args)
         self._tuples.setdefault(fact.predicate, []).append(fact.args)
         for positions in self._built.get(fact.predicate, ()):
+            if len(fact.args) <= max(positions):
+                continue  # too short for this pattern (mixed-arity input)
             key = tuple(fact.args[i] for i in positions)
             self._patterns[(fact.predicate, positions)].setdefault(key, []).append(fact.args)
         return True
@@ -309,8 +336,12 @@ class _FactIndex:
         table = self._patterns.get(key)
         if table is None:
             table = {}
+            width = max(positions) + 1
             for row in self._tuples.get(predicate, ()):
-                table.setdefault(tuple(row[i] for i in positions), []).append(row)
+                # Rows too short for the pattern (mixed-arity inputs)
+                # cannot match any atom presenting these positions.
+                if len(row) >= width:
+                    table.setdefault(tuple(row[i] for i in positions), []).append(row)
             self._patterns[key] = table
             self._built.setdefault(predicate, []).append(positions)
         return table
@@ -357,7 +388,16 @@ class _FactIndex:
 def _match(
     atom: Atom, row: Row, theta: Dict[Variable, Constant]
 ) -> Optional[Dict[Variable, Constant]]:
-    """Try to extend *theta* so that atom θ = row; None on clash."""
+    """Try to extend *theta* so that atom θ = row; None on clash.
+
+    A row of the wrong arity can never match: inputs may hold one
+    predicate at several arities even though programs cannot, and
+    without this check ``zip`` would silently truncate (a 3-tuple
+    "matching" a binary atom, or a short row leaving variables
+    unbound).
+    """
+    if len(row) != atom.arity:
+        return None
     extension = dict(theta)
     for term, value in zip(atom.terms, row):
         if isinstance(term, Constant):
@@ -572,6 +612,296 @@ class _SeminaiveGrounder:
 
 
 # ---------------------------------------------------------------------------
+# Columnar engine: interned id-space joins over the array-backed store.
+# ---------------------------------------------------------------------------
+
+
+class _CompiledAtom:
+    """An atom lowered to id space against one symbol table.
+
+    ``terms`` mirrors the atom's term tuple with every
+    :class:`Constant` replaced by its interned id (ints and
+    :class:`Variable` objects never collide, so the entry type is the
+    discriminant).  ``const_items``/``var_items`` pre-split the
+    positions so the join's bound-pattern computation and the matcher
+    never re-inspect term types.
+
+    *intern* must be True only for atoms that are **instantiated**
+    (rule heads): their constants become store rows, so they need real
+    ids.  Lookup-side atoms (rule bodies, EDB joins) use the
+    non-inserting :meth:`~repro.datalog.store.SymbolTable.get` -- a
+    constant the table has never seen can match no row, now or in any
+    later round (every id a derived fact can carry was interned from
+    the EDB or from a head compiled before any join runs), so the atom
+    is marked :attr:`impossible` instead of growing the shared table.
+    """
+
+    __slots__ = ("predicate", "terms", "const_items", "var_items", "variables", "impossible")
+
+    def __init__(self, atom: Atom, symbols, intern: bool = False) -> None:
+        self.predicate = atom.predicate
+        self.impossible = False
+        entries: List[object] = []
+        const_items: List[Tuple[int, int]] = []
+        var_items: List[Tuple[int, Variable]] = []
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                sid = symbols.intern(term.value) if intern else symbols.get(term.value)
+                if sid is None:
+                    self.impossible = True
+                entries.append(sid)
+                const_items.append((position, sid))
+            else:
+                entries.append(term)
+                var_items.append((position, term))
+        self.terms = tuple(entries)
+        self.const_items = tuple(const_items)
+        self.var_items = tuple(var_items)
+        self.variables = tuple(dict.fromkeys(v for _, v in var_items))
+
+
+def _bound_pattern_ids(
+    catom: _CompiledAtom, theta: Mapping[Variable, int]
+) -> Tuple[Tuple[int, ...], object]:
+    """Bound positions and their index key (id space).
+
+    Returns ``(positions, key)`` where *key* is a bare id for a single
+    bound position (the contiguous ``array('q')`` index path of
+    :mod:`repro.datalog.store`) and a tuple of ids otherwise.
+    """
+    items = list(catom.const_items)
+    for position, var in catom.var_items:
+        sid = theta.get(var)
+        if sid is not None:
+            items.append((position, sid))
+    if not items:
+        return (), ()
+    items.sort()
+    positions = tuple(p for p, _ in items)
+    if len(items) == 1:
+        return positions, items[0][1]
+    return positions, tuple(v for _, v in items)
+
+
+def _match_ids(
+    catom: _CompiledAtom, row: Tuple[int, ...], theta: Dict[Variable, int]
+) -> Optional[Dict[Variable, int]]:
+    """Id-space twin of :func:`_match`: extend *theta* so catom θ = row."""
+    for position, sid in catom.const_items:
+        if row[position] != sid:
+            return None
+    extended = dict(theta)
+    for position, var in catom.var_items:
+        sid = row[position]
+        bound = extended.get(var)
+        if bound is None:
+            extended[var] = sid
+        elif bound != sid:
+            return None
+    return extended
+
+
+def _order_catoms(
+    catoms: Sequence[_CompiledAtom], store, bound: Set[Variable]
+) -> List[_CompiledAtom]:
+    """Greedy selectivity order for compiled atoms; same heuristic as
+    :func:`_order_body` (most bound term positions first, smallest
+    relation breaks ties)."""
+    remaining = list(catoms)
+    ordered: List[_CompiledAtom] = []
+    bound = set(bound)
+    while remaining:
+        best_at = 0
+        best_key: Optional[Tuple[int, int]] = None
+        for at, catom in enumerate(remaining):
+            bound_terms = len(catom.const_items) + sum(
+                1 for _, v in catom.var_items if v in bound
+            )
+            key = (-bound_terms, store.size(catom.predicate, len(catom.terms)))
+            if best_key is None or key < best_key:
+                best_at, best_key = at, key
+        catom = remaining.pop(best_at)
+        ordered.append(catom)
+        bound.update(catom.variables)
+    return ordered
+
+
+def _join_columnar(
+    body: Sequence[_CompiledAtom], store, theta: Dict[Variable, int]
+) -> Iterator[Dict[Variable, int]]:
+    """Backtracking id-space join over bisect-range lookups.
+
+    *body* must already be selectivity-ordered.  A candidate fetch is
+    one binary search on the bound pattern's sorted-id index
+    (:meth:`~repro.datalog.store.ColumnarRelation.lookup`); every row
+    it returns agrees with the atom on all bound positions, so -- as
+    with the indexed engine -- probes are spent only on rows that can
+    still fail through repeated variables within the atom.
+    """
+    if not body:
+        yield theta
+        return
+    stats = GROUNDING_STATS
+    first, rest = body[0], body[1:]
+    if first.impossible:  # a constant the store has never interned
+        return
+    relation = store.relation(first.predicate, len(first.terms))
+    if relation is None:
+        return
+    positions, key = _bound_pattern_ids(first, theta)
+    for row_index in relation.lookup(positions, key):
+        stats.probes += 1
+        extended = _match_ids(first, relation.row(row_index), theta)
+        if extended is not None:
+            stats.matches += 1
+            yield from _join_columnar(rest, store, extended)
+
+
+class _ColumnarGrounder:
+    """The fused semi-naive pass of :class:`_SeminaiveGrounder`, run
+    entirely in id space over a :class:`~repro.datalog.store.ColumnarStore`.
+
+    The database's lazily materialized store is :meth:`copied
+    <repro.datalog.store.ColumnarStore.copy>` (block array copies, no
+    re-interning) so derived facts can be appended without mutating
+    the shared EDB snapshot.  Rule atoms are lowered once per run
+    (:class:`_CompiledAtom`), substitutions map variables to ids, the
+    per-round dedup key is a tuple of ints, and the round-``t`` delta
+    is read back as :class:`~repro.datalog.store.DeltaView` windows
+    between two store watermarks -- duplicates never enter a delta
+    because the store's append log is a set.  Facts are decoded (and
+    cached) only at emission, so a ground rule's constants are
+    re-materialized once per distinct fact, not once per probe.
+    """
+
+    def __init__(self, program: Program, database: Database, collect_rules: bool):
+        self.program = program
+        self.collect_rules = collect_rules
+        idbs = program.idb_predicates
+        self.store = database.columnar_store().copy()
+        self.symbols = self.store.symbols
+        symbols = self.symbols
+        # Heads are compiled first, with interning: every id a derived
+        # fact can carry afterwards comes from the EDB snapshot or a
+        # head constant, which is what lets body atoms use the
+        # non-inserting lookup (see _CompiledAtom).
+        self.compiled_heads = [
+            _CompiledAtom(rule.head, symbols, intern=True) for rule in program.rules
+        ]
+        self.compiled_bodies = [
+            tuple(_CompiledAtom(atom, symbols) for atom in rule.body)
+            for rule in program.rules
+        ]
+        self.idb_flags = [
+            tuple(atom.predicate in idbs for atom in rule.body) for rule in program.rules
+        ]
+        self.var_order: List[Tuple[Variable, ...]] = [
+            tuple(sorted(rule.variables, key=lambda v: v.name)) for rule in program.rules
+        ]
+        self.ground_rules: List[GroundRule] = []
+        self.derived: Set[Tuple[str, Tuple[int, ...]]] = set()
+        self.iterations = 0
+        self._fact_cache: Dict[Tuple[str, Tuple[int, ...]], Fact] = {}
+
+    def _fact(self, predicate: str, ids: Tuple[int, ...]) -> Fact:
+        """Decode an id row to a :class:`Fact`, once per distinct fact."""
+        key = (predicate, ids)
+        fact = self._fact_cache.get(key)
+        if fact is None:
+            fact = Fact(predicate, self.symbols.decode_row(ids))
+            self._fact_cache[key] = fact
+        return fact
+
+    @staticmethod
+    def _instantiate(terms: Tuple, theta: Mapping[Variable, int]) -> Tuple[int, ...]:
+        return tuple(t if isinstance(t, int) else theta[t] for t in terms)
+
+    def derived_facts(self) -> FrozenSet[Fact]:
+        return frozenset(self._fact(pred, ids) for pred, ids in self.derived)
+
+    def _emit(
+        self,
+        rule_index: int,
+        theta: Mapping[Variable, int],
+        round_seen: Set[Tuple],
+    ) -> Optional[Tuple[str, Tuple[int, ...]]]:
+        key = (rule_index, *[theta[v] for v in self.var_order[rule_index]])
+        if key in round_seen:
+            return None
+        round_seen.add(key)
+        head = self.compiled_heads[rule_index]
+        head_ids = self._instantiate(head.terms, theta)
+        if self.collect_rules:
+            idb_body: List[Fact] = []
+            edb_body: List[Fact] = []
+            for catom, is_idb in zip(
+                self.compiled_bodies[rule_index], self.idb_flags[rule_index]
+            ):
+                fact = self._fact(catom.predicate, self._instantiate(catom.terms, theta))
+                (idb_body if is_idb else edb_body).append(fact)
+            self.ground_rules.append(
+                GroundRule(
+                    self._fact(head.predicate, head_ids),
+                    tuple(idb_body),
+                    tuple(edb_body),
+                    rule_index,
+                )
+            )
+            GROUNDING_STATS.ground_rules += 1
+        return (head.predicate, head_ids)
+
+    def run(self) -> "_ColumnarGrounder":
+        store = self.store
+        derived = self.derived
+        fresh: Set[Tuple[str, Tuple[int, ...]]] = set()
+        round_seen: Set[Tuple] = set()
+
+        # Round 0: full (selectivity-ordered) join of every rule.
+        for rule_index, body in enumerate(self.compiled_bodies):
+            ordered = _order_catoms(body, store, set())
+            for theta in _join_columnar(ordered, store, {}):
+                head = self._emit(rule_index, theta, round_seen)
+                if head is not None and head not in derived:
+                    fresh.add(head)
+        self.iterations = 1
+
+        while fresh:
+            self.iterations += 1
+            mark = store.watermark()
+            # Deterministic insertion order: ids are dense ints, so the
+            # (predicate, id row) sort mirrors the other engines'
+            # repr-sorted insertion without decoding anything.
+            for predicate, ids in sorted(fresh):
+                derived.add((predicate, ids))
+                store.insert_ids(predicate, ids)
+            # Rows appended above are exactly the facts new to the
+            # store: re-derived duplicates (e.g. IDB facts resident in
+            # the input database) deduplicate inside the append log and
+            # therefore seed nothing, matching _SeminaiveGrounder.
+            deltas = store.deltas_since(mark)
+            fresh = set()
+            round_seen.clear()
+            for rule_index, body in enumerate(self.compiled_bodies):
+                for position, catom in enumerate(body):
+                    view = deltas.get((catom.predicate, len(catom.terms)))
+                    if view is None:
+                        continue
+                    rest = [c for at, c in enumerate(body) if at != position]
+                    ordered = _order_catoms(rest, store, set(catom.variables))
+                    for row in view.id_rows():
+                        GROUNDING_STATS.probes += 1
+                        seed = _match_ids(catom, row, {})
+                        if seed is None:
+                            continue
+                        GROUNDING_STATS.matches += 1
+                        for theta in _join_columnar(ordered, store, seed):
+                            head = self._emit(rule_index, theta, round_seen)
+                            if head is not None and head not in derived:
+                                fresh.add(head)
+        return self
+
+
+# ---------------------------------------------------------------------------
 # Public strategies.
 # ---------------------------------------------------------------------------
 
@@ -583,13 +913,17 @@ def derivable_facts(
 
     The iteration count is the number of rounds until no new fact
     appears -- the Boolean fixpoint iteration of Definition 4.1 used
-    by the empirical boundedness probe; it is identical under both
-    engines.  The indexed engine runs the fused semi-naive pass
-    without emitting ground rules; the naive engine is the historical
-    loop re-joining every rule each round.
+    by the empirical boundedness probe; it is identical under every
+    engine.  The indexed and columnar engines run their fused
+    semi-naive pass without emitting ground rules; the naive engine is
+    the historical loop re-joining every rule each round.
     """
-    if _resolve_engine(engine) == "naive":
+    engine = _resolve_engine(engine)
+    if engine == "naive":
         return _derivable_facts_naive(program, database)
+    if engine == "columnar":
+        grounder = _ColumnarGrounder(program, database, collect_rules=False).run()
+        return grounder.derived_facts(), grounder.iterations
     grounder = _SeminaiveGrounder(program, database, collect_rules=False).run()
     return frozenset(grounder.derived), grounder.iterations
 
@@ -648,14 +982,21 @@ def relevant_grounding(
 
     * ``"indexed"`` -- one fused semi-naive pass; cost proportional to
       the bindings enumerated, with dict-lookup index probes.
+    * ``"columnar"`` -- the same fused pass in interned id space over
+      the array-backed store (:mod:`repro.datalog.store`), with
+      bisect-range index probes and delta-view rounds.
     * ``"naive"`` -- Boolean fixpoint then a from-scratch re-join of
       every rule; ``O(rounds × Σ candidate rows scanned)``.
 
-    Both return the same set of ground rules (the equivalence is
+    All return the same set of ground rules (the equivalence is
     property-tested); only probe counts and rule order differ.
     """
-    if _resolve_engine(engine) == "naive":
+    engine = _resolve_engine(engine)
+    if engine == "naive":
         return _relevant_grounding_naive(program, database)
+    if engine == "columnar":
+        grounder = _ColumnarGrounder(program, database, collect_rules=True).run()
+        return GroundProgram(program, grounder.ground_rules)
     grounder = _SeminaiveGrounder(program, database, collect_rules=True).run()
     return GroundProgram(program, grounder.ground_rules)
 
@@ -704,45 +1045,58 @@ def full_grounding(
     With the ``"naive"`` engine, a rule whose ``|Dom(I)|^{#vars}``
     cross product exceeds *max_instantiations* raises
     :class:`DatalogError` up front (the cross product is what that
-    engine enumerates).  The ``"indexed"`` engine instead joins the
-    EDB atoms first and only enumerates the remaining free variables
-    over the domain, so its guard counts the instantiations that
-    would actually be emitted -- a join-cost counting pass per rule,
-    before any ground rule is materialized.
+    engine enumerates).  The ``"indexed"`` and ``"columnar"`` engines
+    instead join the EDB atoms first and only enumerate the remaining
+    free variables over the domain, so their guard counts the
+    instantiations that would actually be emitted -- a join-cost
+    counting pass per rule, before any ground rule is materialized.
     """
-    if _resolve_engine(engine) == "naive":
+    engine = _resolve_engine(engine)
+    if engine == "naive":
         return _full_grounding_naive(program, database, max_instantiations)
+    if engine == "columnar":
+        return _full_grounding_columnar(program, database, max_instantiations)
     return _full_grounding_indexed(program, database, max_instantiations)
 
 
-def _full_grounding_indexed(
-    program: Program, database: Database, max_instantiations: int
+def _full_grounding_joined(
+    program: Program,
+    database: Database,
+    max_instantiations: int,
+    make_bindings,
 ) -> GroundProgram:
+    """Shared join-then-enumerate skeleton for the indexed and
+    columnar full groundings.
+
+    *make_bindings(edb_atoms)* returns ``(count_bindings,
+    iter_bindings)``: a zero-argument callable counting the rule's EDB
+    join bindings (the guard pass needs nothing but the count, so the
+    columnar engine can count in id space without decoding anything)
+    and one producing a fresh iterator of EDB substitutions
+    (``Variable -> Constant``) for emission.  The guard pass runs
+    before anything is materialized, so an exploding rule is rejected
+    at join cost, not at the cost (and memory) of building millions of
+    GroundRules first.
+    """
     domain = sorted(database.active_domain(), key=repr)
     idbs = program.idb_predicates
-    index = _FactIndex()
-    for fact in database.facts():
-        index.insert(fact)
     ground_rules: List[GroundRule] = []
     for rule_index, rule in enumerate(program.rules):
         edb_atoms = [a for a in rule.body if a.predicate not in idbs]
-        ordered = _order_body(edb_atoms, index, set())
+        count_bindings, bindings = make_bindings(edb_atoms)
         # The EDB join binds exactly the EDB atoms' variables, so the
         # free set is rule-invariant.
         edb_vars = {v for a in edb_atoms for v in a.variables}
         free = [v for v in sorted(rule.variables, key=lambda v: v.name) if v not in edb_vars]
-        # Guard pass: count bindings before materializing anything, so
-        # an exploding rule is rejected at join cost, not at the cost
-        # (and memory) of building millions of GroundRules first.
         per_binding = len(domain) ** len(free)
-        total = sum(per_binding for _ in _join_indexed(ordered, index, {}))
+        total = per_binding * count_bindings()
         if total > max_instantiations:
             raise DatalogError(
                 f"full grounding of rule {rule} would create {total} "
                 f"instantiations (> {max_instantiations}); "
                 "use relevant_grounding instead"
             )
-        for edb_theta in _join_indexed(ordered, index, {}):
+        for edb_theta in bindings():
             for values in product(domain, repeat=len(free)):
                 GROUNDING_STATS.probes += 1
                 theta = dict(edb_theta)
@@ -759,6 +1113,56 @@ def _full_grounding_indexed(
                 ground_rules.append(GroundRule(head, idb_body, edb_body, rule_index))
                 GROUNDING_STATS.ground_rules += 1
     return GroundProgram(program, ground_rules)
+
+
+def _full_grounding_indexed(
+    program: Program, database: Database, max_instantiations: int
+) -> GroundProgram:
+    index = _FactIndex()
+    for fact in database.facts():
+        index.insert(fact)
+
+    def make_bindings(edb_atoms):
+        ordered = _order_body(edb_atoms, index, set())
+
+        def count():
+            return sum(1 for _ in _join_indexed(ordered, index, {}))
+
+        def run():
+            return _join_indexed(ordered, index, {})
+
+        return count, run
+
+    return _full_grounding_joined(program, database, max_instantiations, make_bindings)
+
+
+def _full_grounding_columnar(
+    program: Program, database: Database, max_instantiations: int
+) -> GroundProgram:
+    """Columnar variant: the EDB join runs in id space over the shared
+    store snapshot (no derived facts are appended, so no copy is
+    taken) and each binding is decoded once before the free variables
+    are enumerated over the domain."""
+    store = database.columnar_store()
+    symbols = store.symbols
+
+    def make_bindings(edb_atoms):
+        ordered = _order_catoms(
+            [_CompiledAtom(atom, symbols) for atom in edb_atoms], store, set()
+        )
+
+        def count():
+            # Guard pass stays in id space: no Constant/dict decoding
+            # for bindings that are only being counted.
+            return sum(1 for _ in _join_columnar(ordered, store, {}))
+
+        def run():
+            for theta_ids in _join_columnar(ordered, store, {}):
+                yield {var: Constant(symbols.decode(sid)) for var, sid in theta_ids.items()}
+
+        return count, run
+
+    return _full_grounding_joined(program, database, max_instantiations, make_bindings)
 
 
 def _full_grounding_naive(

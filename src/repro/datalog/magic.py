@@ -102,7 +102,8 @@ def magic_grounding(
 
     Equivalent to ``relevant_grounding(magic_specialize(program,
     source), database, engine=engine)``; *engine* selects the join
-    engine (``"indexed"`` | ``"naive"``, default indexed -- see
+    engine (``"indexed"`` | ``"naive"`` | ``"columnar"``, default
+    indexed -- see
     :func:`~repro.datalog.grounding.relevant_grounding`).  The
     returned grounding has ``O(m)`` rules for a left-linear chain
     program on an ``m``-edge input, versus ``Θ(n·m)`` without

@@ -87,7 +87,7 @@ class FixpointEngine:
 
     ``grounding_engine`` independently selects the join engine used
     when the engine has to ground the program itself
-    (``"indexed"`` | ``"naive"``, default
+    (``"indexed"`` | ``"naive"`` | ``"columnar"``, default
     :data:`~repro.datalog.grounding.DEFAULT_GROUNDING_ENGINE`; see
     :func:`~repro.datalog.grounding.relevant_grounding`).  The two
     knobs compose freely: strategy picks how the fixpoint iterates

@@ -1,0 +1,485 @@
+"""Interned columnar fact storage (DESIGN.md §8).
+
+Every other layer of the engine -- grounding joins, semi-naive deltas,
+circuit construction -- ultimately reads tuples out of a fact store.
+The historical stores (`Database`'s per-predicate Python ``set``s and
+the grounding engines' dict-of-rows indexes) pay per-tuple object
+overhead on every probe: each row is a tuple of arbitrary Python
+constants, each index probe hashes those constants again, and each
+relation scan chases one pointer per cell.
+
+This module is the columnar alternative, the standard layout of
+high-performance Datalog engines:
+
+* :class:`SymbolTable` -- constants are *interned* once into dense
+  integer ids (``Hashable -> int``); every downstream comparison,
+  hash and index key is then machine-int work.  One process-wide
+  table (:data:`GLOBAL_SYMBOLS`) is shared by default so ids are
+  stable across relations, stores and engine runs -- exactly the
+  property a partitioned / multi-process fixpoint needs to exchange
+  rows without re-encoding them.
+* :class:`ColumnarRelation` -- each relation is a struct-of-arrays:
+  one append-only ``array('q')`` per argument position, plus a
+  row-key dict for O(1) dedup/membership.  The writer is
+  arity-checked; rows are integers end to end.
+* :class:`_PatternIndex` -- pattern-keyed indexes stored as
+  *contiguous sorted-id arrays*: for a tuple of bound argument
+  positions, the row ids are kept sorted by their key, and a lookup
+  is **one binary search per bound pattern** (``bisect`` range over
+  the sorted keys) instead of one dict probe per candidate tuple.
+  Rows appended after an index is built land in a small pending tail
+  (a dict) that is merged back into the sorted arrays geometrically
+  (amortized ``O(1)`` maintenance per appended row), so lookups stay
+  ``O(log n)`` while derived facts stream in during semi-naive
+  grounding.
+* :class:`DeltaView` -- a zero-copy half-open window over a
+  relation's append log.  Because relations are append-only,
+  ``store.watermark()`` before a round and ``store.deltas_since()``
+  after it give the per-relation delta sets semi-naive iteration
+  consumes, without ever materializing a second fact set.
+
+Decoding back to Python constants happens only at the boundary
+(:meth:`SymbolTable.decode_row`, :meth:`ColumnarStore.facts`);
+:class:`~repro.datalog.database.Database` stays the user-facing façade
+and materializes a shared :class:`ColumnarStore` lazily.  The
+``engine="columnar"`` join engine in :mod:`repro.datalog.grounding`
+runs entirely in id space on top of these primitives.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .ast import DatalogError, Fact
+
+__all__ = [
+    "SymbolTable",
+    "GLOBAL_SYMBOLS",
+    "ColumnarRelation",
+    "ColumnarStore",
+    "DeltaView",
+]
+
+#: Index key: a bare id for single-position patterns (kept in a
+#: contiguous ``array('q')``), a tuple of ids otherwise.
+PatternKey = Union[int, Tuple[int, ...]]
+
+IdRow = Tuple[int, ...]
+
+
+class SymbolTable:
+    """Bidirectional ``Hashable constant <-> dense int id`` interning.
+
+    Ids are assigned densely in first-intern order, so they double as
+    indices into the reverse table (:meth:`decode` is a list index).
+    Interning is idempotent; :meth:`get` is the non-inserting probe
+    used on lookup paths, where an unknown constant means "no row can
+    possibly match" and must not grow the table.
+    """
+
+    __slots__ = ("_ids", "_values")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Hashable, int] = {}
+        self._values: List[Hashable] = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._ids
+
+    def intern(self, value: Hashable) -> int:
+        """The id of *value*, assigning the next dense id on first use."""
+        sid = self._ids.get(value)
+        if sid is None:
+            sid = len(self._values)
+            self._ids[value] = sid
+            self._values.append(value)
+        return sid
+
+    def intern_row(self, values: Iterable[Hashable]) -> IdRow:
+        intern = self.intern
+        return tuple(intern(v) for v in values)
+
+    def get(self, value: Hashable) -> Optional[int]:
+        """The id of *value*, or ``None`` if it was never interned."""
+        return self._ids.get(value)
+
+    def get_row(self, values: Iterable[Hashable]) -> Optional[IdRow]:
+        """Ids of *values*, or ``None`` as soon as any constant is unknown."""
+        ids = self._ids
+        out: List[int] = []
+        for value in values:
+            sid = ids.get(value)
+            if sid is None:
+                return None
+            out.append(sid)
+        return tuple(out)
+
+    def decode(self, symbol: int) -> Hashable:
+        return self._values[symbol]
+
+    def decode_row(self, symbols: Iterable[int]) -> Tuple[Hashable, ...]:
+        values = self._values
+        return tuple(values[s] for s in symbols)
+
+
+#: The process-wide default table: every constant is interned once,
+#: whichever database, store or engine run encounters it first.
+GLOBAL_SYMBOLS = SymbolTable()
+
+
+class _PatternIndex:
+    """Sorted-id index for one tuple of bound argument positions.
+
+    The committed part is a pair of parallel sequences sorted by key:
+    ``_keys`` (an ``array('q')`` of ids for single-position patterns,
+    a list of id tuples otherwise) and ``_rows`` (``array('q')`` of
+    row indices).  A lookup is a ``bisect_left``/``bisect_right``
+    range -- one binary search per bound pattern -- plus a dict probe
+    on the pending tail of rows appended since the last merge.  The
+    tail is merged back (one two-pointer pass over both sorted runs)
+    whenever it outgrows a fixed fraction of the committed part, so
+    maintenance costs amortized ``O(1)`` comparisons per appended row
+    while lookups stay ``O(log n)``.
+    """
+
+    __slots__ = ("positions", "_single", "_keys", "_rows", "_tail", "_tail_rows")
+
+    #: Merge the pending tail once it exceeds committed/_MERGE_FRACTION.
+    _MERGE_FRACTION = 8
+
+    def __init__(self, relation: "ColumnarRelation", positions: Tuple[int, ...]):
+        self.positions = positions
+        self._single = len(positions) == 1
+        if self._single:
+            column = relation.columns[positions[0]]
+            order = sorted(range(len(column)), key=column.__getitem__)
+            self._keys: Union[array, List[Tuple[int, ...]]] = array(
+                "q", (column[i] for i in order)
+            )
+        else:
+            columns = [relation.columns[p] for p in positions]
+            keys = [tuple(col[i] for col in columns) for i in range(len(relation))]
+            order = sorted(range(len(keys)), key=keys.__getitem__)
+            self._keys = [keys[i] for i in order]
+        self._rows = array("q", order)
+        self._tail: Dict[PatternKey, List[int]] = {}
+        self._tail_rows = 0
+
+    def add(self, key: PatternKey, row: int) -> None:
+        """Register a freshly appended *row* under *key*."""
+        self._tail.setdefault(key, []).append(row)
+        self._tail_rows += 1
+        if self._tail_rows * self._MERGE_FRACTION > len(self._rows):
+            self._merge_tail()
+
+    def _merge_tail(self) -> None:
+        if not self._tail:
+            return
+        pending = sorted(
+            (key, row) for key, rows in self._tail.items() for row in rows
+        )
+        # Two-pointer merge of the committed run with the sorted tail:
+        # O(committed + tail) total, and the trigger fires only after
+        # committed/_MERGE_FRACTION appends, so maintenance is
+        # amortized O(1) comparisons per appended row.
+        keys, rows = self._keys, self._rows
+        merged: List[Tuple[PatternKey, int]] = []
+        at, committed = 0, len(rows)
+        for key, row in pending:
+            while at < committed and keys[at] <= key:
+                merged.append((keys[at], rows[at]))
+                at += 1
+            merged.append((key, row))
+        while at < committed:
+            merged.append((keys[at], rows[at]))
+            at += 1
+        if self._single:
+            self._keys = array("q", (k for k, _ in merged))
+        else:
+            self._keys = [k for k, _ in merged]
+        self._rows = array("q", (r for _, r in merged))
+        self._tail.clear()
+        self._tail_rows = 0
+
+    def lookup(self, key: PatternKey) -> List[int]:
+        """Row indices whose key equals *key* (bisect range + tail probe)."""
+        keys = self._keys
+        lo = bisect_left(keys, key)
+        hi = bisect_right(keys, key, lo)
+        out = list(self._rows[lo:hi])
+        if self._tail_rows:
+            out.extend(self._tail.get(key, ()))
+        return out
+
+
+class ColumnarRelation:
+    """One relation as parallel append-only ``array('q')`` columns.
+
+    The writer (:meth:`append`) is arity-checked and deduplicating:
+    the row-key dict maps each id row to its row index, giving O(1)
+    membership (:meth:`__contains__`, :meth:`row_index`) and making
+    the append log a set.  Pattern indexes are built lazily per
+    position tuple (:meth:`index_for`) and maintained incrementally as
+    rows are appended.
+    """
+
+    __slots__ = ("predicate", "arity", "columns", "_row_index", "_indexes")
+
+    def __init__(self, predicate: str, arity: int):
+        self.predicate = predicate
+        self.arity = arity
+        self.columns: Tuple[array, ...] = tuple(array("q") for _ in range(arity))
+        self._row_index: Dict[IdRow, int] = {}
+        self._indexes: Dict[Tuple[int, ...], _PatternIndex] = {}
+
+    def __len__(self) -> int:
+        return len(self._row_index)
+
+    def __contains__(self, ids: IdRow) -> bool:
+        return ids in self._row_index
+
+    def row_index(self, ids: IdRow) -> Optional[int]:
+        return self._row_index.get(ids)
+
+    def append(self, ids: IdRow) -> Optional[int]:
+        """Append an id row; its new row index, or ``None`` if resident."""
+        if len(ids) != self.arity:
+            raise DatalogError(
+                f"arity clash on {self.predicate!r}: got {len(ids)} ids, "
+                f"relation has arity {self.arity}"
+            )
+        if ids in self._row_index:
+            return None
+        row = len(self._row_index)
+        self._row_index[ids] = row
+        for column, sid in zip(self.columns, ids):
+            column.append(sid)
+        for positions, index in self._indexes.items():
+            if len(positions) == 1:
+                index.add(ids[positions[0]], row)
+            else:
+                index.add(tuple(ids[p] for p in positions), row)
+        return row
+
+    def row(self, index: int) -> IdRow:
+        return tuple(column[index] for column in self.columns)
+
+    def id_rows(self, start: int = 0, stop: Optional[int] = None) -> Iterator[IdRow]:
+        """Iterate id rows ``[start, stop)`` in append order."""
+        if stop is None:
+            stop = len(self)
+        columns = self.columns
+        for i in range(start, stop):
+            yield tuple(column[i] for column in columns)
+
+    def index_for(self, positions: Tuple[int, ...]) -> _PatternIndex:
+        """The sorted-id index for *positions*, built lazily once."""
+        index = self._indexes.get(positions)
+        if index is None:
+            index = _PatternIndex(self, positions)
+            self._indexes[positions] = index
+        return index
+
+    def lookup(self, positions: Tuple[int, ...], key: PatternKey) -> Sequence[int]:
+        """Row indices agreeing with *key* on *positions*.
+
+        An empty *positions* means a full scan (all row indices).
+        """
+        if not positions:
+            return range(len(self))
+        return self.index_for(positions).lookup(key)
+
+    def copy(self) -> "ColumnarRelation":
+        """Independent copy of the columns and row keys.
+
+        Pattern indexes are *not* copied -- they rebuild lazily on
+        first use, which keeps copies (taken by every grounder run
+        before it appends derived facts) proportional to the data,
+        not to the index footprint.
+        """
+        clone = ColumnarRelation(self.predicate, self.arity)
+        clone.columns = tuple(array("q", column) for column in self.columns)
+        clone._row_index = dict(self._row_index)
+        return clone
+
+
+@dataclass(frozen=True)
+class DeltaView:
+    """Half-open window ``[start, stop)`` over a relation's append log.
+
+    The unit of semi-naive iteration: because relations are
+    append-only and deduplicating, the rows appended between two
+    watermarks are exactly the facts *new to the store* in that round
+    -- re-derived duplicates never enter a delta.  The view is
+    zero-copy; :meth:`id_rows` reads straight from the columns.
+    """
+
+    relation: ColumnarRelation
+    start: int
+    stop: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def predicate(self) -> str:
+        return self.relation.predicate
+
+    def id_rows(self) -> Iterator[IdRow]:
+        return self.relation.id_rows(self.start, self.stop)
+
+    def facts(self, symbols: SymbolTable) -> Iterator[Fact]:
+        predicate = self.relation.predicate
+        for ids in self.id_rows():
+            yield Fact(predicate, symbols.decode_row(ids))
+
+
+class ColumnarStore:
+    """A set of :class:`ColumnarRelation`\\ s over one symbol table.
+
+    The id-space backend behind ``engine="columnar"``: facts go in
+    through the interning writers (:meth:`insert_fact`,
+    :meth:`insert_ids`), joins read row indices out of the bisect
+    indexes (:meth:`ColumnarRelation.lookup`), and semi-naive rounds
+    consume :class:`DeltaView` windows between :meth:`watermark`
+    calls.  Decoding happens only at the boundary (:meth:`facts`).
+
+    Relations are keyed by ``(predicate, arity)``: a
+    :class:`Database` may hold one predicate at several arities
+    (programs forbid it, inputs do not), and wrong-arity tuples must
+    simply never match an atom -- exactly the behaviour of the
+    tuple-based engines -- rather than clash in one fixed-arity
+    column set.
+    """
+
+    __slots__ = ("symbols", "_relations")
+
+    def __init__(self, symbols: Optional[SymbolTable] = None):
+        self.symbols = GLOBAL_SYMBOLS if symbols is None else symbols
+        self._relations: Dict[Tuple[str, int], ColumnarRelation] = {}
+
+    @classmethod
+    def from_facts(
+        cls, facts: Iterable[Fact], symbols: Optional[SymbolTable] = None
+    ) -> "ColumnarStore":
+        store = cls(symbols)
+        for fact in facts:
+            store.insert_fact(fact)
+        return store
+
+    # -- writers ---------------------------------------------------------
+
+    def relation(self, predicate: str, arity: Optional[int] = None) -> Optional[ColumnarRelation]:
+        """The relation for ``predicate/arity``.
+
+        With ``arity=None``, the relation is returned only when the
+        predicate occurs at exactly one arity (the common case and the
+        convenient form for direct store users); joins always pass the
+        atom's arity explicitly.
+        """
+        if arity is not None:
+            return self._relations.get((predicate, arity))
+        found = [rel for (pred, _), rel in self._relations.items() if pred == predicate]
+        return found[0] if len(found) == 1 else None
+
+    def insert_ids(self, predicate: str, ids: IdRow) -> bool:
+        """Append an already-interned row; True iff it was new."""
+        key = (predicate, len(ids))
+        relation = self._relations.get(key)
+        if relation is None:
+            relation = ColumnarRelation(predicate, len(ids))
+            self._relations[key] = relation
+        return relation.append(ids) is not None
+
+    def insert_fact(self, fact: Fact) -> bool:
+        """Intern and append one fact; True iff it was new."""
+        return self.insert_ids(fact.predicate, self.symbols.intern_row(fact.args))
+
+    # -- readers ---------------------------------------------------------
+
+    def predicates(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(pred for pred, _ in self._relations))
+
+    def size(self, predicate: str, arity: Optional[int] = None) -> int:
+        if arity is not None:
+            relation = self._relations.get((predicate, arity))
+            return 0 if relation is None else len(relation)
+        return sum(
+            len(rel) for (pred, _), rel in self._relations.items() if pred == predicate
+        )
+
+    def __len__(self) -> int:
+        return sum(len(relation) for relation in self._relations.values())
+
+    def contains_fact(self, fact: Fact) -> bool:
+        relation = self._relations.get((fact.predicate, fact.arity))
+        if relation is None:
+            return False
+        ids = self.symbols.get_row(fact.args)
+        return ids is not None and ids in relation
+
+    def facts(self, predicate: Optional[str] = None) -> Iterator[Fact]:
+        """Decode back to :class:`Fact` objects (boundary use only)."""
+        decode_row = self.symbols.decode_row
+        for pred, arity in sorted(self._relations):
+            if predicate is not None and pred != predicate:
+                continue
+            for ids in self._relations[(pred, arity)].id_rows():
+                yield Fact(pred, decode_row(ids))
+
+    # -- deltas ----------------------------------------------------------
+
+    def watermark(self) -> Dict[Tuple[str, int], int]:
+        """Per-relation row counts; pair with :meth:`deltas_since`."""
+        return {key: len(rel) for key, rel in self._relations.items()}
+
+    def deltas_since(
+        self, watermark: Dict[Tuple[str, int], int]
+    ) -> Dict[Tuple[str, int], DeltaView]:
+        """Non-empty :class:`DeltaView`\\ s of rows appended after *watermark*,
+        keyed by ``(predicate, arity)``."""
+        out: Dict[Tuple[str, int], DeltaView] = {}
+        for key, relation in self._relations.items():
+            start = watermark.get(key, 0)
+            stop = len(relation)
+            if stop > start:
+                out[key] = DeltaView(relation, start, stop)
+        return out
+
+    # -- lifecycle -------------------------------------------------------
+
+    def copy(self) -> "ColumnarStore":
+        """Independent store sharing the symbol table.
+
+        The cheap way for a grounder to get a mutable store seeded
+        with a database's EDB: columns are block-copied arrays, no
+        re-interning, no re-hashing of Python constants.
+        """
+        clone = ColumnarStore(self.symbols)
+        clone._relations = {
+            pred: relation.copy() for pred, relation in self._relations.items()
+        }
+        return clone
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{pred}/{arity}:{len(rel)}"
+            for (pred, arity), rel in sorted(self._relations.items())
+        )
+        return f"ColumnarStore({parts or 'empty'}, symbols={len(self.symbols)})"

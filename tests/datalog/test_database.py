@@ -84,3 +84,73 @@ def test_tuples_view():
 
 def test_repr():
     assert "E:2" in repr(Database.from_edges([(1, 2), (2, 3)]))
+
+
+# -- derived-view caches (invalidate on mutation) -------------------------
+
+
+def test_active_domain_cached_and_invalidated_on_add():
+    db = Database.from_edges([(1, 2)])
+    first = db.active_domain()
+    assert first == {1, 2}
+    assert db.active_domain() is first  # cached: no rescan between adds
+    db.add("E", 2, 3)
+    assert db.active_domain() == {1, 2, 3}  # invalidated by the insert
+    db.add("E", 1, 2)  # duplicate: nothing changed, cache may survive
+    assert db.active_domain() == {1, 2, 3}
+
+
+def test_valuation_cached_and_invalidated_on_add_and_set_weight():
+    db = Database.from_edges([(1, 2), (2, 3)])
+    f12, f23 = Fact("E", (1, 2)), Fact("E", (2, 3))
+    first = db.valuation(TROPICAL)
+    assert first == {f12: TROPICAL.one, f23: TROPICAL.one}
+    # Each call returns a private copy: mutating it must not leak into
+    # the cache.
+    first[f12] = 99.0
+    assert db.valuation(TROPICAL)[f12] == TROPICAL.one
+    db.set_weight(f12, 5.0)
+    assert db.valuation(TROPICAL)[f12] == 5.0  # invalidated by set_weight
+    f34 = db.add("E", 3, 4, weight=7.0)
+    valuation = db.valuation(TROPICAL)
+    assert valuation[f34] == 7.0  # invalidated by add
+    assert valuation[f12] == 5.0
+
+
+def test_valuation_cache_is_per_semiring():
+    from repro.semirings import BOOLEAN
+
+    db = Database.from_edges([(1, 2)])
+    fact = Fact("E", (1, 2))
+    assert db.valuation(TROPICAL)[fact] == 0.0  # tropical 1 is 0.0
+    assert db.valuation(BOOLEAN)[fact] is True
+
+
+def test_valuation_cache_is_bounded():
+    from repro.semirings.numeric import CappedCountingSemiring
+
+    db = Database.from_edges([(1, 2)])
+    for q in range(1, 3 * Database._VALUATION_CACHE_SIZE):
+        db.valuation(CappedCountingSemiring(q))
+    assert len(db._valuation_cache) <= Database._VALUATION_CACHE_SIZE
+
+
+def test_copy_carries_private_symbol_scope():
+    from repro.datalog import GLOBAL_SYMBOLS, SymbolTable
+
+    db = Database.from_edges([("copy-scope-u", "copy-scope-v")])
+    table = SymbolTable()
+    db.columnar_store(symbols=table)
+    clone = db.copy()
+    assert clone.columnar_store().symbols is table
+    assert GLOBAL_SYMBOLS.get("copy-scope-u") is None
+
+
+def test_facts_iteration_unaffected_by_caching():
+    db = Database.from_edges([(2, 3), (1, 2)])
+    before = list(db.facts())
+    assert list(db.facts()) == before
+    db.add("A", 9)
+    after = list(db.facts())
+    assert len(after) == 3
+    assert Fact("A", (9,)) in after

@@ -46,7 +46,7 @@ def random_edge_db(seed: int, n: int, m: int) -> Database:
 
 
 def rule_set(ground):
-    return {(r.rule_index, r.head, r.idb_body, r.edb_body) for r in ground.rules}
+    return ground.rule_keys()
 
 
 def assert_same_ground_program(naive, indexed):
