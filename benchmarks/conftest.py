@@ -11,6 +11,18 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import SweepReport
+from repro.datalog import scoped_symbols
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _private_symbol_scope():
+    """Benchmarks intern into a session-private symbol table: sweeps
+    create millions of transient constants, and the process-wide
+    ``GLOBAL_SYMBOLS`` is append-only (src/repro/datalog/store.py) --
+    scoping keeps one bench run from bloating every later measurement
+    in the same process."""
+    with scoped_symbols():
+        yield
 
 
 def run_sweep(title, claimed_size, claimed_depth, rows, scale="n"):

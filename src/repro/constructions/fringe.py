@@ -36,14 +36,20 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from ..circuits.circuit import Circuit, CircuitBuilder
 from ..datalog.ast import Fact, Program
 from ..datalog.database import Database
-from ..datalog.grounding import GroundProgram, relevant_grounding
+from ..datalog.grounding import (
+    ColumnarGroundProgram,
+    GroundProgram,
+    _resolve_engine,
+    columnar_grounding,
+    relevant_grounding,
+)
 
 __all__ = ["fringe_circuit", "default_stage_count"]
 
 _ROOT = 0  # the special id ⟨0⟩
 
 
-def default_stage_count(ground: GroundProgram, fringe_bound: Optional[int] = None) -> int:
+def default_stage_count(ground, fringe_bound: Optional[int] = None) -> int:
     """``K = ⌈log_{4/3}(fringe bound)⌉ + 1`` stages.
 
     Without an explicit bound we use the grounding size: a tight proof
@@ -52,6 +58,8 @@ def default_stage_count(ground: GroundProgram, fringe_bound: Optional[int] = Non
     the input -- the grounding size is a sound polynomial over-
     approximation for the linear and chain programs benchmarked here
     (each node consumes a distinct ground rule occurrence budget).
+    *ground* may be a tuple-space or columnar grounding; only its
+    ``size`` is read.
     """
     if fringe_bound is None:
         fringe_bound = max(ground.size, 2)
@@ -64,7 +72,7 @@ def fringe_circuit(
     facts: Optional[Union[Fact, Sequence[Fact]]] = None,
     stages: Optional[int] = None,
     fringe_bound: Optional[int] = None,
-    ground: Optional[GroundProgram] = None,
+    ground: Optional[Union[GroundProgram, ColumnarGroundProgram]] = None,
     engine: Optional[str] = None,
 ) -> Circuit:
     """Theorem 6.2's circuit for *facts* (default: all target facts).
@@ -73,14 +81,23 @@ def fringe_circuit(
     :func:`default_stage_count`.  *engine* selects the grounding join
     engine when *ground* is not supplied (``"indexed"`` | ``"naive"``
     | ``"columnar"``, see
-    :func:`~repro.datalog.grounding.relevant_grounding`).  Input
-    labels are EDB facts, so ``database.valuation(semiring)``
+    :func:`~repro.datalog.grounding.relevant_grounding`); with
+    ``engine="columnar"`` the program is grounded straight into id
+    space and the per-stage rule sweeps read the columnar arrays --
+    facts are decoded only for input-gate labels and outputs.  A
+    precomputed grounding of either form can be passed as *ground*.
+    Input labels are EDB facts, so ``database.valuation(semiring)``
     evaluates the result.
     """
     if ground is None:
-        ground = relevant_grounding(program, database, engine=engine)
+        if _resolve_engine(engine) == "columnar":
+            ground = columnar_grounding(program, database)
+        else:
+            ground = relevant_grounding(program, database, engine=engine)
     if stages is None:
         stages = default_stage_count(ground, fringe_bound)
+    if isinstance(ground, ColumnarGroundProgram):
+        return _fringe_circuit_columnar(program, ground, facts, stages)
 
     idb_facts: List[Fact] = sorted(ground.idb_facts, key=repr)
     fact_id: Dict[Fact, int] = {fact: i + 1 for i, fact in enumerate(idb_facts)}
@@ -99,26 +116,54 @@ def fringe_circuit(
         builder.mul_all([var(f) for f in rule.edb_body]) for rule in ground.rules
     ]
 
-    # Sparse H: H[a] is {b: node} for edges a → b.
-    graph: Dict[int, Dict[int, int]] = {}
+    rule_head_num: List[int] = [fact_id[rule.head] for rule in ground.rules]
+    rule_idb_nums: List[Tuple[int, ...]] = [
+        tuple(fact_id[f] for f in rule.idb_body) for rule in ground.rules
+    ]
+    graph = _fringe_stages(builder, stages, rule_edb_product, rule_head_num, rule_idb_nums)
 
-    def read(a: int, b: int, table: Dict[int, Dict[int, int]]) -> int:
-        return table.get(a, {}).get(b, builder.const0())
+    outputs_facts = _resolve_outputs(program, facts, idb_facts)
+    output_nodes = [
+        graph.get(_ROOT, {}).get(fact_id[f], builder.const0())
+        if f in fact_id
+        else builder.const0()
+        for f in outputs_facts
+    ]
+    return builder.build(output_nodes, prune=True)
+
+
+def _fringe_stages(
+    builder: CircuitBuilder,
+    stages: int,
+    rule_edb_product: List[int],
+    rule_head_num: List[int],
+    rule_idb_nums: List[Tuple[int, ...]],
+) -> Dict[int, Dict[int, int]]:
+    """The four-step stage loop on the weighted digraph ``H``.
+
+    Rules are consumed as numeric views -- per-rule EDB product node,
+    head vertex, IDB body vertices -- so the tuple and columnar
+    front-ends share one implementation; ``H`` is kept sparse
+    (``H[a]`` is ``{b: node}``).
+    """
+    graph: Dict[int, Dict[int, int]] = {}
+    nrules = len(rule_edb_product)
 
     for _stage in range(stages):
         # Step 1: one ICO round for H₁(⟨0⟩, ⟨α⟩).
         stage1_root: Dict[int, List[int]] = {}
-        for rule, edb_node in zip(ground.rules, rule_edb_product):
-            node = edb_node
+        root_row = graph.get(_ROOT, {})
+        for position in range(nrules):
+            node = rule_edb_product[position]
             ok = True
-            for body_fact in rule.idb_body:
-                upstream = graph.get(_ROOT, {}).get(fact_id[body_fact])
+            for body_num in rule_idb_nums[position]:
+                upstream = root_row.get(body_num)
                 if upstream is None:
                     ok = False
                     break
                 node = builder.mul(node, upstream)
-            if ok or not rule.idb_body:
-                stage1_root.setdefault(fact_id[rule.head], []).append(node)
+            if ok:
+                stage1_root.setdefault(rule_head_num[position], []).append(node)
         h1: Dict[int, Dict[int, int]] = {_ROOT: {}}
         for target_id, terms in stage1_root.items():
             h1[_ROOT][target_id] = builder.add_all(terms)
@@ -128,23 +173,26 @@ def fringe_circuit(
         # Terms per (δ, α) pair are collected and summed in a balanced
         # tree, keeping the per-stage depth at O(log).
         conditional_terms: Dict[Tuple[int, int], List[int]] = {}
-        for rule, edb_node in zip(ground.rules, rule_edb_product):
-            if not rule.idb_body:
+        h1_root = h1[_ROOT]
+        for position in range(nrules):
+            idb_nums = rule_idb_nums[position]
+            if not idb_nums:
                 continue
-            for open_position, open_fact in enumerate(rule.idb_body):
+            edb_node = rule_edb_product[position]
+            for open_position, open_num in enumerate(idb_nums):
                 node = edb_node
                 ok = True
-                for position, body_fact in enumerate(rule.idb_body):
-                    if position == open_position:
+                for at, body_num in enumerate(idb_nums):
+                    if at == open_position:
                         continue
-                    upstream = h1[_ROOT].get(fact_id[body_fact])
+                    upstream = h1_root.get(body_num)
                     if upstream is None:
                         ok = False
                         break
                     node = builder.mul(node, upstream)
                 if not ok:
                     continue
-                key = (fact_id[open_fact], fact_id[rule.head])
+                key = (open_num, rule_head_num[position])
                 conditional_terms.setdefault(key, []).append(node)
         for (source_id, target_id), terms in conditional_terms.items():
             h1.setdefault(source_id, {})[target_id] = builder.add_all(terms)
@@ -179,14 +227,69 @@ def fringe_circuit(
                 terms = [existing] + terms
             new_graph[a][b] = builder.add_all(terms)
         graph = new_graph
+    return graph
 
-    outputs_facts = _resolve_outputs(program, facts, idb_facts)
-    output_nodes = [
-        graph.get(_ROOT, {}).get(fact_id[f], builder.const0())
-        if f in fact_id
-        else builder.const0()
-        for f in outputs_facts
+
+def _fringe_circuit_columnar(
+    program: Program,
+    cground: ColumnarGroundProgram,
+    facts: Optional[Union[Fact, Sequence[Fact]]],
+    stages: int,
+) -> Circuit:
+    """Theorem 6.2's construction streamed from the id-space grounding.
+
+    Vertices of ``H`` are numbered straight off the head fact ids;
+    rules and their IDB bodies are read from the columnar CSR arrays,
+    EDB constants are decoded once for the input-gate labels, and
+    outputs decode at the very end -- no other tuple conversion
+    anywhere.
+    """
+    head_fids = cground.idb_fact_ids()
+    fact_num: Dict[int, int] = {fid: i + 1 for i, fid in enumerate(head_fids)}
+    decode = cground.decode_fact
+
+    builder = CircuitBuilder(share=True)
+    edge_var: Dict[int, int] = {
+        fid: builder.var(decode(fid)) for fid in cground.edb_fact_ids()
+    }
+    nrules = len(cground)
+    idb_indptr, idb_flat = cground.idb_indptr, cground.idb_flat
+    edb_indptr, edb_flat = cground.edb_indptr, cground.edb_flat
+    rule_edb_product: List[int] = [
+        builder.mul_all(
+            [
+                edge_var[edb_flat[at]]
+                for at in range(edb_indptr[position], edb_indptr[position + 1])
+            ]
+        )
+        for position in range(nrules)
     ]
+    rule_head_num: List[int] = [fact_num[fid] for fid in cground.rule_head]
+    rule_idb_nums: List[Tuple[int, ...]] = [
+        tuple(
+            fact_num[idb_flat[at]]
+            for at in range(idb_indptr[position], idb_indptr[position + 1])
+        )
+        for position in range(nrules)
+    ]
+    graph = _fringe_stages(builder, stages, rule_edb_product, rule_head_num, rule_idb_nums)
+
+    root_row = graph.get(_ROOT, {})
+    output_nodes: List[int] = []
+    if facts is None:
+        targets = sorted(
+            ((decode(fid), fid) for fid in cground.target_fact_ids()),
+            key=lambda pair: repr(pair[0]),
+        )
+        for _, fid in targets:
+            output_nodes.append(root_row.get(fact_num[fid], builder.const0()))
+    else:
+        for fact in [facts] if isinstance(facts, Fact) else facts:
+            fid = cground.find_fact_id(fact)
+            num = fact_num.get(fid) if fid is not None else None
+            output_nodes.append(
+                root_row.get(num, builder.const0()) if num is not None else builder.const0()
+            )
     return builder.build(output_nodes, prune=True)
 
 

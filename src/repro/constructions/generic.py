@@ -32,7 +32,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 from ..circuits.circuit import Circuit, CircuitBuilder
 from ..datalog.ast import Fact, Program
 from ..datalog.database import Database
-from ..datalog.grounding import GroundProgram, relevant_grounding
+from ..datalog.grounding import (
+    ColumnarGroundProgram,
+    GroundProgram,
+    _resolve_engine,
+    columnar_grounding,
+    relevant_grounding,
+)
 
 __all__ = ["generic_circuit"]
 
@@ -42,7 +48,7 @@ def generic_circuit(
     database: Database,
     facts: Optional[Union[Fact, Sequence[Fact]]] = None,
     stages: Optional[int] = None,
-    ground: Optional[GroundProgram] = None,
+    ground: Optional[Union[GroundProgram, ColumnarGroundProgram]] = None,
     engine: Optional[str] = None,
 ) -> Circuit:
     """Build the Theorem 3.1 circuit for *facts* (default: all target
@@ -54,13 +60,23 @@ def generic_circuit(
     :func:`repro.constructions.bounded.bounded_circuit`).  *engine*
     selects the grounding join engine when *ground* is not supplied
     (``"indexed"`` | ``"naive"`` | ``"columnar"``, see
-    :func:`~repro.datalog.grounding.relevant_grounding`).
+    :func:`~repro.datalog.grounding.relevant_grounding`); with
+    ``engine="columnar"`` the program is grounded straight into id
+    space (:func:`~repro.datalog.grounding.columnar_grounding`) and
+    the stage loop streams from the columnar arrays -- EDB constants
+    are decoded exactly once, for the input-gate labels.  A
+    precomputed grounding of either form can be passed as *ground*.
 
     The circuit's input labels are the EDB :class:`Fact` objects, so
     ``database.valuation(semiring)`` is a ready-made assignment.
     """
     if ground is None:
-        ground = relevant_grounding(program, database, engine=engine)
+        if _resolve_engine(engine) == "columnar":
+            ground = columnar_grounding(program, database)
+        else:
+            ground = relevant_grounding(program, database, engine=engine)
+    if isinstance(ground, ColumnarGroundProgram):
+        return _generic_circuit_columnar(program, ground, facts, stages)
     idb_facts: List[Fact] = sorted(ground.idb_facts, key=repr)
     if stages is None:
         stages = max(len(idb_facts), 1)
@@ -106,6 +122,125 @@ def generic_circuit(
     # Keep missing facts' const0 outputs meaningful even when pruning.
     circuit = builder.build(output_nodes, prune=True)
     return circuit
+
+
+def _generic_circuit_columnar(
+    program: Program,
+    cground: ColumnarGroundProgram,
+    facts: Optional[Union[Fact, Sequence[Fact]]],
+    stages: Optional[int],
+) -> Circuit:
+    """The stage loop of :func:`generic_circuit`, streamed from the
+    id-space grounding (DESIGN.md §9).
+
+    Same delta-driven construction, same hash-consed gates: node ids
+    live in one dense list indexed by fact id, rules and the
+    ``by_body`` / ``by_head`` adjacency are read from the CSR arrays,
+    and dirty bookkeeping is ``bytearray`` marks -- the only
+    :class:`Fact` objects ever materialized are the EDB input labels
+    (once each) and the requested outputs.
+    """
+    head_fids = cground.idb_fact_ids()
+    if stages is None:
+        stages = max(len(head_fids), 1)
+
+    builder = CircuitBuilder(share=True)
+    nfacts = cground.fact_count
+    nrules = len(cground)
+    decode = cground.decode_fact
+    # Node slot per fact id: const0 for IDB facts, an input gate for
+    # EDB facts (a fid outside both sets cannot occur in a relevant
+    # grounding; the None placeholder fails fast if it ever does,
+    # mirroring the tuple path's KeyError).
+    value: List[Optional[int]] = [None] * nfacts
+    is_head = bytearray(nfacts)
+    const0 = builder.const0()
+    for fid in head_fids:
+        value[fid] = const0
+        is_head[fid] = 1
+    for fid in cground.edb_fact_ids():
+        if not is_head[fid]:
+            value[fid] = builder.var(decode(fid))
+
+    idb_indptr, idb_flat = cground.idb_indptr, cground.idb_flat
+    edb_indptr, edb_flat = cground.edb_indptr, cground.edb_flat
+    rule_head = cground.rule_head
+    by_head_ptr, by_head_rules = cground.by_head_csr()
+    by_body_ptr, by_body_rules = cground.by_body_csr()
+    idb_rows: List[Sequence[int]] = [
+        tuple(idb_flat[idb_indptr[position] : idb_indptr[position + 1]])
+        for position in range(nrules)
+    ]
+    mul, add_all = builder.mul, builder.add_all
+    rule_edb_product: List[int] = [
+        builder.mul_all(
+            [
+                value[edb_flat[at]]
+                for at in range(edb_indptr[position], edb_indptr[position + 1])
+            ]
+        )
+        for position in range(nrules)
+    ]
+
+    rule_node: List[int] = list(rule_edb_product)
+    head_mark = bytearray(nfacts)
+    dirty: Sequence[int] = range(nrules)
+    for _ in range(stages):
+        dirty_heads: List[int] = []
+        for position in dirty:
+            node = rule_edb_product[position]
+            for fid in idb_rows[position]:
+                node = mul(node, value[fid])
+            rule_node[position] = node
+            head = rule_head[position]
+            if not head_mark[head]:
+                head_mark[head] = 1
+                dirty_heads.append(head)
+        delta_fids: List[int] = []
+        delta_nodes: List[int] = []
+        for head in dirty_heads:
+            head_mark[head] = 0
+            fresh = add_all(
+                [
+                    rule_node[by_head_rules[at]]
+                    for at in range(by_head_ptr[head], by_head_ptr[head + 1])
+                ]
+            )
+            if fresh != value[head]:
+                delta_fids.append(head)
+                delta_nodes.append(fresh)
+        if not delta_fids:
+            break  # symbolic fixpoint: further layers are no-ops
+        for head, node in zip(delta_fids, delta_nodes):
+            value[head] = node
+        rule_mark = bytearray(nrules)
+        next_dirty: List[int] = []
+        for head in delta_fids:
+            for at in range(by_body_ptr[head], by_body_ptr[head + 1]):
+                position = by_body_rules[at]
+                if not rule_mark[position]:
+                    rule_mark[position] = 1
+                    next_dirty.append(position)
+        next_dirty.sort()
+        dirty = next_dirty
+
+    # Outputs decode at the boundary only; order matches the tuple
+    # path (repr-sorted idb facts filtered to the target).
+    output_nodes: List[int] = []
+    if facts is None:
+        targets = sorted(
+            ((decode(fid), fid) for fid in cground.target_fact_ids()),
+            key=lambda pair: repr(pair[0]),
+        )
+        output_nodes = [value[fid] for _, fid in targets]
+    else:
+        for fact in [facts] if isinstance(facts, Fact) else facts:
+            fid = cground.find_fact_id(fact)
+            if fid is not None and is_head[fid]:
+                output_nodes.append(value[fid])
+            else:
+                output_nodes.append(builder.const0())
+    return builder.build(output_nodes, prune=True)
 
 
 def _resolve_outputs(

@@ -36,15 +36,18 @@ from .grounding import (
     DEFAULT_GROUNDING_ENGINE,
     GROUNDING_ENGINES,
     GROUNDING_STATS,
+    ColumnarGroundProgram,
     GroundingStats,
     GroundProgram,
     GroundRule,
+    columnar_grounding,
     count_join_probes,
     derivable_facts,
     full_grounding,
     relevant_grounding,
 )
 from .seminaive import (
+    COLUMNAR,
     DEFAULT_STRATEGY,
     NAIVE,
     SEMINAIVE,
@@ -58,6 +61,8 @@ from .store import (
     ColumnarStore,
     DeltaView,
     SymbolTable,
+    default_symbols,
+    scoped_symbols,
 )
 from .magic import (
     magic_grounding,
@@ -99,9 +104,12 @@ __all__ = [
     "ParseError",
     "GroundRule",
     "GroundProgram",
+    "ColumnarGroundProgram",
     "GroundingStats",
     "SymbolTable",
     "GLOBAL_SYMBOLS",
+    "default_symbols",
+    "scoped_symbols",
     "ColumnarRelation",
     "ColumnarStore",
     "DeltaView",
@@ -111,6 +119,7 @@ __all__ = [
     "count_join_probes",
     "full_grounding",
     "relevant_grounding",
+    "columnar_grounding",
     "derivable_facts",
     "EvaluationResult",
     "DivergenceError",
@@ -122,6 +131,7 @@ __all__ = [
     "DEFAULT_STRATEGY",
     "NAIVE",
     "SEMINAIVE",
+    "COLUMNAR",
     "STRATEGIES",
     "ProofTree",
     "enumerate_tight_proof_trees",

@@ -15,6 +15,10 @@ the naive-vs-semi-naive trade-off):
 * ``seminaive`` -- the default: per-fact deltas plus the
   ``rules_by_idb_body`` index re-evaluate only rules whose body
   actually changed, round-for-round equivalent to naive.
+* ``columnar`` -- the same delta-driven rounds run in id space on a
+  :class:`~repro.datalog.grounding.ColumnarGroundProgram` (dense
+  value arrays indexed by fact id, CSR adjacency, object-space ⊗/⊕;
+  DESIGN.md §9), round-for-round equivalent to both.
 
 :func:`naive_evaluation` keeps its historical name and signature but
 now delegates to the engine, so every caller gets the semi-naive
@@ -142,12 +146,14 @@ def naive_evaluation(
 
     Despite the historical name this delegates to the
     :class:`~repro.datalog.seminaive.FixpointEngine`; *strategy* picks
-    the backend (``"naive"`` | ``"seminaive"``, default
-    :data:`~repro.datalog.seminaive.DEFAULT_STRATEGY`, i.e.
-    semi-naive).  Both produce identical results round for round.
+    the backend (``"naive"`` | ``"seminaive"`` | ``"columnar"``,
+    default :data:`~repro.datalog.seminaive.DEFAULT_STRATEGY`, i.e.
+    semi-naive).  All produce identical results round for round.
     *grounding_engine* picks the join engine used when *ground* is not
     supplied (``"indexed"`` | ``"naive"`` | ``"columnar"``, see
-    :func:`~repro.datalog.grounding.relevant_grounding`).
+    :func:`~repro.datalog.grounding.relevant_grounding`); *ground*
+    itself may be a tuple-space ``GroundProgram`` or an id-space
+    :class:`~repro.datalog.grounding.ColumnarGroundProgram`.
     """
     from .seminaive import FixpointEngine
 

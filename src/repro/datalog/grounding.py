@@ -35,6 +35,11 @@ Each strategy is served by one of three interchangeable join
   sorted-id arrays, and semi-naive rounds consume the store's
   :class:`~repro.datalog.store.DeltaView` windows.  Facts are decoded
   back to :class:`Fact` objects only when ground rules are emitted.
+  :func:`columnar_grounding` skips even that: the slot-compiled
+  variant of the pass emits a :class:`ColumnarGroundProgram` --
+  ground rules as parallel int arrays over interned fact ids, the
+  form the ``strategy="columnar"`` fixpoint and the circuit
+  constructions consume without any tuple conversion (DESIGN.md §9).
 
 * ``"naive"`` -- the original reference engine: a Boolean semi-naive
   fixpoint (:func:`derivable_facts`) followed by a backtracking
@@ -54,8 +59,10 @@ counter the benchmarks (``benchmarks/bench_ablation_grounding.py``,
 
 from __future__ import annotations
 
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from itertools import product
+from operator import itemgetter
 from typing import (
     Dict,
     FrozenSet,
@@ -69,12 +76,16 @@ from typing import (
     Tuple,
 )
 
+from array import array
+
 from .ast import Atom, Constant, DatalogError, Fact, Program, Rule, Variable
 from .database import Database
+from .store import SymbolTable
 
 __all__ = [
     "GroundRule",
     "GroundProgram",
+    "ColumnarGroundProgram",
     "GroundingStats",
     "GROUNDING_STATS",
     "GROUNDING_ENGINES",
@@ -82,6 +93,7 @@ __all__ = [
     "count_join_probes",
     "full_grounding",
     "relevant_grounding",
+    "columnar_grounding",
     "derivable_facts",
 ]
 
@@ -118,9 +130,13 @@ class GroundingStats:
     * ``matches`` -- probes that extended the substitution.
     * ``ground_rules`` -- ground-rule instances emitted.
 
-    A single module-level instance, :data:`GROUNDING_STATS`,
-    accumulates across calls; callers reset it around the region they
-    want to measure::
+    Engines write to the *context-local* stats object
+    (:func:`count_join_probes` installs a private capture around the
+    region it measures, so concurrent or interleaved measurements
+    cannot pollute each other's counts).  Outside any capture they
+    fall back to the module-level :data:`GROUNDING_STATS`, which
+    accumulates across calls; direct use of the global remains
+    supported::
 
         GROUNDING_STATS.reset()
         relevant_grounding(program, db, engine="naive")
@@ -137,20 +153,43 @@ class GroundingStats:
         self.ground_rules = 0
 
 
-#: Module-level join instrumentation (see :class:`GroundingStats`).
+#: Module-level join instrumentation (see :class:`GroundingStats`):
+#: the default capture target when no :func:`count_join_probes` scope
+#: is active.
 GROUNDING_STATS = GroundingStats()
+
+#: The context-local capture target.  ``contextvars`` gives every
+#: thread / async task its own binding, so interleaved
+#: :func:`count_join_probes` regions are isolated from each other and
+#: from the global accumulator.
+_GROUNDING_STATS_VAR: ContextVar[GroundingStats] = ContextVar(
+    "repro_grounding_stats", default=GROUNDING_STATS
+)
+
+
+def _stats() -> GroundingStats:
+    """The stats object engines must write to in the current context."""
+    return _GROUNDING_STATS_VAR.get()
 
 
 def count_join_probes(run):
-    """Run ``run()`` against a reset :data:`GROUNDING_STATS`; return
+    """Run ``run()`` against a private stats capture; return
     ``(probes, result)``.
 
     The one measurement protocol shared by the benchmarks and the
-    probe-regression tests, so they cannot drift apart.
+    probe-regression tests, so they cannot drift apart.  The capture
+    is context-local: neither a concurrent measurement nor the
+    module-level :data:`GROUNDING_STATS` accumulator sees this run's
+    counts, and captures nest (an inner capture's counts stay out of
+    the outer one).
     """
-    GROUNDING_STATS.reset()
-    result = run()
-    return GROUNDING_STATS.probes, result
+    capture = GroundingStats()
+    token = _GROUNDING_STATS_VAR.set(capture)
+    try:
+        result = run()
+    finally:
+        _GROUNDING_STATS_VAR.reset(token)
+    return capture.probes, result
 
 
 @dataclass(frozen=True)
@@ -274,6 +313,311 @@ class GroundProgram:
     def __repr__(self) -> str:
         return (
             f"GroundProgram(rules={len(self.rules)}, idb_facts={len(self.by_head)}, "
+            f"size={self.size})"
+        )
+
+
+class ColumnarGroundProgram:
+    """The grounded program in id space: rules as parallel int arrays
+    (DESIGN.md §9).
+
+    The columnar twin of :class:`GroundProgram`, produced by
+    :func:`columnar_grounding` without ever decoding a constant.
+    Every distinct ground fact is interned once into a dense *fact
+    id* -- an index into the parallel ``fact_preds`` / ``fact_rows``
+    tables -- and the ground rules are parallel ``array('q')`` runs:
+
+    * ``rule_head[r]`` -- the head's fact id;
+    * ``rule_no[r]`` -- the originating program-rule index;
+    * ``idb_indptr`` / ``idb_flat`` -- CSR rows of IDB body fact ids,
+      in original body-atom order;
+    * ``edb_indptr`` / ``edb_flat`` -- the same for the EDB body.
+
+    The two adjacency indexes the semi-naive fixpoint consumes (the
+    dict-of-lists :attr:`GroundProgram.rules_by_idb_body` and
+    :attr:`GroundProgram.rule_indices_by_head` of the tuple world)
+    are CSR arrays over fact ids here (:meth:`by_body_csr`,
+    :meth:`by_head_csr`): one contiguous ``(indptr, data)`` pair
+    each, built in two counting passes and probed by plain integer
+    indexing -- no :class:`Fact` hashing anywhere on the fixpoint's
+    hot path.
+
+    Decoding back to :class:`Fact` / :class:`GroundRule` objects
+    happens only at the boundary (:meth:`decode_fact`,
+    :meth:`idb_facts`, :meth:`rule_keys`, :meth:`to_ground_program`),
+    once per distinct fact.
+    """
+
+    __slots__ = (
+        "program",
+        "symbols",
+        "iterations",
+        "fact_preds",
+        "fact_rows",
+        "rule_head",
+        "rule_no",
+        "idb_indptr",
+        "idb_flat",
+        "edb_indptr",
+        "edb_flat",
+        "_fact_ids",
+        "_decoded",
+        "_by_head",
+        "_by_body",
+        "_idb_fids",
+        "_edb_fids",
+    )
+
+    def __init__(self, program: Program, symbols: SymbolTable):
+        self.program = program
+        self.symbols = symbols
+        #: Boolean-fixpoint rounds of the grounding pass (set by
+        #: :func:`columnar_grounding`; mirrors ``derivable_facts``).
+        self.iterations: Optional[int] = None
+        self.fact_preds: List[str] = []
+        self.fact_rows: List[Tuple[int, ...]] = []
+        self.rule_head = array("q")
+        self.rule_no = array("q")
+        self.idb_indptr = array("q", (0,))
+        self.idb_flat = array("q")
+        self.edb_indptr = array("q", (0,))
+        self.edb_flat = array("q")
+        self._fact_ids: Dict[str, Dict[Tuple[int, ...], int]] = {}
+        self._decoded: Dict[int, Fact] = {}
+        self._by_head: Optional[Tuple[array, array]] = None
+        self._by_body: Optional[Tuple[array, array]] = None
+        self._idb_fids: Optional[array] = None
+        self._edb_fids: Optional[array] = None
+
+    # -- writers (grounding-time) ----------------------------------------
+
+    def interner(self, predicate: str):
+        """A ``row ids -> fact id`` interning closure for one predicate.
+
+        The emission hot path calls one of these per body atom per
+        ground rule; binding the per-predicate row dict and the fact
+        tables up front keeps that to a single small-tuple dict probe
+        (no ``(predicate, ids)`` key allocation, no string hashing).
+        """
+        table = self._fact_ids.setdefault(predicate, {})
+        fact_preds, fact_rows = self.fact_preds, self.fact_rows
+
+        def fact_id_for(ids: Tuple[int, ...]) -> int:
+            fid = table.get(ids)
+            if fid is None:
+                fid = len(fact_preds)
+                table[ids] = fid
+                fact_preds.append(predicate)
+                fact_rows.append(ids)
+            return fid
+
+        return fact_id_for
+
+    def fact_id(self, predicate: str, ids: Tuple[int, ...]) -> int:
+        """The dense fact id of ``predicate(ids)``, interning on first use."""
+        return self.interner(predicate)(ids)
+
+    def append_rule(
+        self,
+        rule_no: int,
+        head_fid: int,
+        idb_fids: Sequence[int],
+        edb_fids: Sequence[int],
+    ) -> None:
+        self.rule_head.append(head_fid)
+        self.rule_no.append(rule_no)
+        self.idb_flat.extend(idb_fids)
+        self.idb_indptr.append(len(self.idb_flat))
+        self.edb_flat.extend(edb_fids)
+        self.edb_indptr.append(len(self.edb_flat))
+        self._by_head = self._by_body = None
+        self._idb_fids = self._edb_fids = None
+
+    # -- shape -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rule_head)
+
+    @property
+    def fact_count(self) -> int:
+        return len(self.fact_preds)
+
+    @property
+    def size(self) -> int:
+        """``M`` of Theorem 4.3: total atoms over all ground rules."""
+        return len(self.rule_head) + len(self.idb_flat) + len(self.edb_flat)
+
+    def max_body_idbs(self) -> int:
+        indptr = self.idb_indptr
+        return max(
+            (indptr[r + 1] - indptr[r] for r in range(len(self))), default=0
+        )
+
+    def idb_fact_ids(self) -> array:
+        """Distinct head fact ids, ascending (the IDB facts)."""
+        if self._idb_fids is None:
+            mark = bytearray(self.fact_count)
+            for fid in self.rule_head:
+                mark[fid] = 1
+            self._idb_fids = array("q", (i for i, m in enumerate(mark) if m))
+        return self._idb_fids
+
+    def edb_fact_ids(self) -> array:
+        """Distinct EDB body fact ids, ascending."""
+        if self._edb_fids is None:
+            mark = bytearray(self.fact_count)
+            for fid in self.edb_flat:
+                mark[fid] = 1
+            self._edb_fids = array("q", (i for i, m in enumerate(mark) if m))
+        return self._edb_fids
+
+    def target_fact_ids(self) -> List[int]:
+        """Head fact ids of the program's target predicate."""
+        target = self.program.target
+        preds = self.fact_preds
+        return [fid for fid in self.idb_fact_ids() if preds[fid] == target]
+
+    # -- CSR adjacency ---------------------------------------------------
+
+    @staticmethod
+    def _csr(
+        keys: Sequence[int], payload: Sequence[int], buckets: int
+    ) -> Tuple[array, array]:
+        """Bucket *payload* by *keys*: ``(indptr, data)`` with bucket
+        ``b``'s payload at ``data[indptr[b]:indptr[b + 1]]``, append
+        order preserved within a bucket (two counting passes)."""
+        indptr = [0] * (buckets + 1)
+        for key in keys:
+            indptr[key + 1] += 1
+        for bucket in range(buckets):
+            indptr[bucket + 1] += indptr[bucket]
+        data = array("q", bytes(8 * len(payload)))
+        fill = indptr[:-1]
+        for key, value in zip(keys, payload):
+            data[fill[key]] = value
+            fill[key] += 1
+        return array("q", indptr), data
+
+    def by_head_csr(self) -> Tuple[array, array]:
+        """Fact id → positions of the ground rules deriving it (CSR).
+
+        The columnar :attr:`GroundProgram.rule_indices_by_head`:
+        ``data[indptr[fid]:indptr[fid + 1]]`` lists rule positions in
+        ascending order; non-head fact ids have empty ranges.
+        """
+        if self._by_head is None:
+            self._by_head = self._csr(
+                self.rule_head, range(len(self.rule_head)), self.fact_count
+            )
+        return self._by_head
+
+    def by_body_csr(self) -> Tuple[array, array]:
+        """Fact id → positions of the ground rules with that fact in
+        their IDB body (CSR; deduplicated per rule, like the tuple
+        index).  When a fact's value changes, exactly these rules can
+        produce a different ⊗-term."""
+        if self._by_body is None:
+            keys = array("q")
+            payload = array("q")
+            indptr, flat = self.idb_indptr, self.idb_flat
+            for position in range(len(self)):
+                start, stop = indptr[position], indptr[position + 1]
+                if stop - start == 1:
+                    keys.append(flat[start])
+                    payload.append(position)
+                elif stop > start:
+                    row = flat[start:stop]
+                    seen = set()
+                    for fid in row:
+                        if fid not in seen:
+                            seen.add(fid)
+                            keys.append(fid)
+                            payload.append(position)
+            self._by_body = self._csr(keys, payload, self.fact_count)
+        return self._by_body
+
+    # -- boundary decoding -----------------------------------------------
+
+    def decode_fact(self, fid: int) -> Fact:
+        """The :class:`Fact` behind a fact id, decoded once and cached."""
+        fact = self._decoded.get(fid)
+        if fact is None:
+            fact = Fact(self.fact_preds[fid], self.symbols.decode_row(self.fact_rows[fid]))
+            self._decoded[fid] = fact
+        return fact
+
+    def find_fact_id(self, fact: Fact) -> Optional[int]:
+        """The fact id of *fact*, or ``None`` when it never occurs in
+        the grounding (unknown constants short-circuit)."""
+        ids = self.symbols.get_row(fact.args)
+        if ids is None:
+            return None
+        return self._fact_ids.get(fact.predicate, {}).get(ids)
+
+    @property
+    def idb_facts(self) -> FrozenSet[Fact]:
+        return frozenset(self.decode_fact(fid) for fid in self.idb_fact_ids())
+
+    def _decode_rule(self, position: int) -> GroundRule:
+        decode = self.decode_fact
+        idb = tuple(
+            decode(fid)
+            for fid in self.idb_flat[
+                self.idb_indptr[position] : self.idb_indptr[position + 1]
+            ]
+        )
+        edb = tuple(
+            decode(fid)
+            for fid in self.edb_flat[
+                self.edb_indptr[position] : self.edb_indptr[position + 1]
+            ]
+        )
+        return GroundRule(decode(self.rule_head[position]), idb, edb, self.rule_no[position])
+
+    def rule_keys(self) -> FrozenSet[Tuple]:
+        """Same order-independent identity as
+        :meth:`GroundProgram.rule_keys`, so the engine/strategy
+        equivalence tests compare tuple and columnar groundings
+        directly."""
+        return frozenset(
+            (rule.rule_index, rule.head, rule.idb_body, rule.edb_body)
+            for rule in (self._decode_rule(position) for position in range(len(self)))
+        )
+
+    def to_ground_program(self) -> GroundProgram:
+        """Decode the whole grounding into the tuple form (boundary
+        use: feeding tuple-space strategies or legacy consumers)."""
+        return GroundProgram(
+            self.program, [self._decode_rule(position) for position in range(len(self))]
+        )
+
+    @classmethod
+    def from_ground_program(
+        cls, ground: GroundProgram, symbols: Optional[SymbolTable] = None
+    ) -> "ColumnarGroundProgram":
+        """Lower a tuple-space grounding into id space.
+
+        Lets the columnar fixpoint run on groundings produced by the
+        tuple engines or precomputed by callers.  Interns into a
+        private table by default: the lowering is self-contained, so
+        it must not grow the shared default table.
+        """
+        symbols = SymbolTable() if symbols is None else symbols
+        out = cls(ground.program, symbols)
+        intern_row = symbols.intern_row
+        fact_id = out.fact_id
+        for rule in ground.rules:
+            out.append_rule(
+                rule.rule_index,
+                fact_id(rule.head.predicate, intern_row(rule.head.args)),
+                [fact_id(f.predicate, intern_row(f.args)) for f in rule.idb_body],
+                [fact_id(f.predicate, intern_row(f.args)) for f in rule.edb_body],
+            )
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarGroundProgram(rules={len(self)}, facts={self.fact_count}, "
             f"size={self.size})"
         )
 
@@ -428,7 +772,7 @@ def _join(
     if not body:
         yield theta
         return
-    stats = GROUNDING_STATS
+    stats = _stats()
     first, rest = body[0], body[1:]
     for row in index.candidates(first, theta):
         stats.probes += 1
@@ -486,7 +830,7 @@ def _join_indexed(
     if not body:
         yield theta
         return
-    stats = GROUNDING_STATS
+    stats = _stats()
     first, rest = body[0], body[1:]
     for row in index.lookup(first, theta):
         stats.probes += 1
@@ -534,6 +878,7 @@ class _SeminaiveGrounder:
         self.ground_rules: List[GroundRule] = []
         self.derived: Set[Fact] = set()
         self.iterations = 0
+        self.stats = _stats()
 
     def _emit(
         self,
@@ -557,12 +902,13 @@ class _SeminaiveGrounder:
                 if a.predicate not in self.idbs
             )
             self.ground_rules.append(GroundRule(head, idb_body, edb_body, rule_index))
-            GROUNDING_STATS.ground_rules += 1
+            self.stats.ground_rules += 1
         return head
 
     def run(self) -> "_SeminaiveGrounder":
         index = self.index
         derived = self.derived
+        stats = self.stats
         fresh: Set[Fact] = set()
         round_seen: Set[Tuple] = set()
 
@@ -599,11 +945,11 @@ class _SeminaiveGrounder:
                     # and index sizes are stable within a round.
                     ordered = _order_body(rest, index, set(atom.variables))
                     for delta_fact in delta_facts:
-                        GROUNDING_STATS.probes += 1
+                        stats.probes += 1
                         seed = _match(atom, delta_fact.args, {})
                         if seed is None:
                             continue
-                        GROUNDING_STATS.matches += 1
+                        stats.matches += 1
                         for theta in _join_indexed(ordered, index, seed):
                             head = self._emit(rule_index, rule, theta, round_seen)
                             if head is not None and head not in derived:
@@ -741,7 +1087,7 @@ def _join_columnar(
     if not body:
         yield theta
         return
-    stats = GROUNDING_STATS
+    stats = _stats()
     first, rest = body[0], body[1:]
     if first.impossible:  # a constant the store has never interned
         return
@@ -801,6 +1147,7 @@ class _ColumnarGrounder:
         self.ground_rules: List[GroundRule] = []
         self.derived: Set[Tuple[str, Tuple[int, ...]]] = set()
         self.iterations = 0
+        self.stats = _stats()
         self._fact_cache: Dict[Tuple[str, Tuple[int, ...]], Fact] = {}
 
     def _fact(self, predicate: str, ids: Tuple[int, ...]) -> Fact:
@@ -847,12 +1194,13 @@ class _ColumnarGrounder:
                     rule_index,
                 )
             )
-            GROUNDING_STATS.ground_rules += 1
+            self.stats.ground_rules += 1
         return (head.predicate, head_ids)
 
     def run(self) -> "_ColumnarGrounder":
         store = self.store
         derived = self.derived
+        stats = self.stats
         fresh: Set[Tuple[str, Tuple[int, ...]]] = set()
         round_seen: Set[Tuple] = set()
 
@@ -889,11 +1237,11 @@ class _ColumnarGrounder:
                     rest = [c for at, c in enumerate(body) if at != position]
                     ordered = _order_catoms(rest, store, set(catom.variables))
                     for row in view.id_rows():
-                        GROUNDING_STATS.probes += 1
+                        stats.probes += 1
                         seed = _match_ids(catom, row, {})
                         if seed is None:
                             continue
-                        GROUNDING_STATS.matches += 1
+                        stats.matches += 1
                         for theta in _join_columnar(ordered, store, seed):
                             head = self._emit(rule_index, theta, round_seen)
                             if head is not None and head not in derived:
@@ -907,7 +1255,10 @@ class _ColumnarGrounder:
 
 
 def derivable_facts(
-    program: Program, database: Database, engine: Optional[str] = None
+    program: Program,
+    database: Database,
+    engine: Optional[str] = None,
+    ground: Optional["ColumnarGroundProgram"] = None,
 ) -> Tuple[FrozenSet[Fact], int]:
     """Boolean fixpoint: ``(derivable IDB facts, iterations)``.
 
@@ -917,7 +1268,23 @@ def derivable_facts(
     engine.  The indexed and columnar engines run their fused
     semi-naive pass without emitting ground rules; the naive engine is
     the historical loop re-joining every rule each round.
+
+    A precomputed :class:`ColumnarGroundProgram` (from
+    :func:`columnar_grounding`, which records its pass's round count)
+    already carries both answers; pass it as *ground* to skip the
+    closure entirely.  A grounding with no recorded round count (e.g.
+    one lowered via
+    :meth:`ColumnarGroundProgram.from_ground_program`) is rejected
+    rather than silently recomputed against the live database.
     """
+    if ground is not None:
+        if ground.iterations is None:
+            raise ValueError(
+                "ground carries no Boolean round count (only "
+                "columnar_grounding results do); drop the argument to "
+                "recompute the closure from the database"
+            )
+        return ground.idb_facts, ground.iterations
     engine = _resolve_engine(engine)
     if engine == "naive":
         return _derivable_facts_naive(program, database)
@@ -1001,6 +1368,384 @@ def relevant_grounding(
     return GroundProgram(program, grounder.ground_rules)
 
 
+class _SlotAtom:
+    """An atom lowered to id space with *rule-local variable slots*.
+
+    The slot representation is what lets the fused
+    :class:`_ColumnarProgramGrounder` join without substitution
+    dicts: a rule's variables are numbered ``0..k-1`` (sorted by name,
+    so the slot vector doubles as the per-round dedup key), and an
+    atom's ``terms`` encode constants as their non-negative interned
+    id and variable slot ``s`` as ``-(s + 1)`` -- one int tuple per
+    atom, instantiated against a flat ``theta`` list by sign check.
+
+    ``const_items``/``var_items`` pre-split the positions exactly like
+    :class:`_CompiledAtom`; *intern* follows the same head/body rule
+    (heads intern their constants, body lookups use the non-inserting
+    probe and mark the atom :attr:`impossible` on a miss).
+    """
+
+    __slots__ = ("predicate", "arity", "terms", "const_items", "var_items", "slots", "impossible")
+
+    def __init__(self, atom: Atom, symbols, slot_of: Dict[Variable, int], intern: bool = False):
+        self.predicate = atom.predicate
+        self.arity = atom.arity
+        self.impossible = False
+        entries: List[int] = []
+        const_items: List[Tuple[int, int]] = []
+        var_items: List[Tuple[int, int]] = []
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                sid = symbols.intern(term.value) if intern else symbols.get(term.value)
+                if sid is None:
+                    self.impossible = True
+                    sid = 0  # placeholder; the atom can never match
+                entries.append(sid)
+                const_items.append((position, sid))
+            else:
+                slot = slot_of[term]
+                entries.append(-(slot + 1))
+                var_items.append((position, slot))
+        self.terms = tuple(entries)
+        self.const_items = tuple(const_items)
+        self.var_items = tuple(var_items)
+        self.slots = tuple(dict.fromkeys(slot for _, slot in var_items))
+
+
+def _row_builder(terms: Tuple[int, ...]):
+    """A ``theta -> id row`` callable for one slot-encoded atom.
+
+    The all-variable case (every ground atom of a constant-free rule)
+    compiles to :func:`operator.itemgetter` -- one C call per emitted
+    atom instead of a Python-level loop; atoms mentioning constants
+    take the generic sign-check path, and nullary (propositional)
+    atoms have the one constant row.
+    """
+    if not terms:
+        return lambda theta: ()
+    if all(t < 0 for t in terms):
+        slots = tuple(-1 - t for t in terms)
+        if len(slots) == 1:
+            only = slots[0]
+            return lambda theta: (theta[only],)
+        return itemgetter(*slots)
+
+    def build(theta, terms=terms):
+        return tuple([t if t >= 0 else theta[-1 - t] for t in terms])
+
+    return build
+
+
+def _order_slot_atoms(
+    atoms: Sequence[_SlotAtom], store, bound: Set[int]
+) -> List[_SlotAtom]:
+    """Greedy selectivity order over slot atoms; the same heuristic as
+    :func:`_order_body` / :func:`_order_catoms` (most bound term
+    positions first, smallest relation breaks ties)."""
+    remaining = list(atoms)
+    ordered: List[_SlotAtom] = []
+    bound = set(bound)
+    while remaining:
+        best_at = 0
+        best_key: Optional[Tuple[int, int]] = None
+        for at, atom in enumerate(remaining):
+            bound_terms = len(atom.const_items) + sum(
+                1 for _, slot in atom.var_items if slot in bound
+            )
+            key = (-bound_terms, store.size(atom.predicate, atom.arity))
+            if best_key is None or key < best_key:
+                best_at, best_key = at, key
+        atom = remaining.pop(best_at)
+        ordered.append(atom)
+        bound.update(atom.slots)
+    return ordered
+
+
+def _compile_slot_plan(
+    ordered: Sequence[_SlotAtom], bound: Set[int]
+) -> Tuple[Tuple, ...]:
+    """Freeze an ordered body into per-atom join steps.
+
+    Which slots are bound when each atom's turn comes is fully
+    determined by the order, so the bound-pattern computation that the
+    dict-based joins redo per candidate binding happens **once** here:
+    each step carries its lookup position tuple, a key template
+    (constant id, or slot to read from ``theta``), and the runtime
+    bind-or-check items for still-unbound slots.  Compiled plans are
+    cached per ``(rule, delta position)`` across rounds.
+    """
+    plan: List[Tuple] = []
+    bound = set(bound)
+    for atom in ordered:
+        items: List[Tuple[int, bool, int]] = [
+            (position, False, sid) for position, sid in atom.const_items
+        ]
+        runtime: List[Tuple[int, int]] = []
+        for position, slot in atom.var_items:
+            if slot in bound:
+                items.append((position, True, slot))
+            else:
+                runtime.append((position, slot))
+        items.sort()
+        plan.append(
+            (
+                atom.predicate,
+                atom.arity,
+                tuple(position for position, _, _ in items),
+                tuple(is_slot for _, is_slot, _ in items),
+                tuple(value for _, _, value in items),
+                tuple(runtime),
+                atom.impossible,
+            )
+        )
+        bound.update(atom.slots)
+    return tuple(plan)
+
+
+def _enum_slot_plan(
+    plan: Sequence[Tuple], at: int, store, theta: List[int], stats: GroundingStats
+) -> Iterator[None]:
+    """Backtracking join over a compiled slot plan.
+
+    Yields once per complete binding; *theta* is mutated in place
+    (read it at the yield point) and restored via an undo trail on
+    backtrack -- no per-match dict copies.  Candidate cells are read
+    straight out of the relation's columns, so no row tuple is built
+    per probe either.  Probe/match accounting matches the dict-based
+    joins: one probe per candidate row, one match per row that extends
+    the binding.
+    """
+    if at == len(plan):
+        yield None
+        return
+    predicate, arity, positions, key_is_slot, key_vals, runtime, impossible = plan[at]
+    if impossible:
+        return
+    relation = store.relation(predicate, arity)
+    if relation is None:
+        return
+    if positions:
+        if len(key_vals) == 1:
+            key = theta[key_vals[0]] if key_is_slot[0] else key_vals[0]
+        else:
+            key = tuple(
+                theta[value] if is_slot else value
+                for is_slot, value in zip(key_is_slot, key_vals)
+            )
+        rows = relation.index_for(positions).lookup(key)
+    else:
+        rows = range(len(relation))
+    columns = relation.columns
+    rest = at + 1
+    for row_index in rows:
+        stats.probes += 1
+        ok = True
+        trail: List[int] = []
+        for position, slot in runtime:
+            sid = columns[position][row_index]
+            bound_sid = theta[slot]
+            if bound_sid < 0:
+                theta[slot] = sid
+                trail.append(slot)
+            elif bound_sid != sid:
+                ok = False
+                break
+        if ok:
+            stats.matches += 1
+            yield from _enum_slot_plan(plan, rest, store, theta, stats)
+        for slot in trail:
+            theta[slot] = -1
+
+
+class _ColumnarProgramGrounder:
+    """The fused semi-naive pass emitting a
+    :class:`ColumnarGroundProgram` -- id space end to end.
+
+    The third grounder, behind :func:`columnar_grounding`: the same
+    delta-driven round structure as :class:`_ColumnarGrounder` (store
+    copy, watermark/:class:`~repro.datalog.store.DeltaView` rounds,
+    only facts new to the store seed joins), but
+
+    * rules are slot-compiled once (:class:`_SlotAtom`): substitutions
+      are flat int lists indexed by slot, extended/rolled back through
+      an undo trail instead of being copied dicts;
+    * join steps are precompiled (:func:`_compile_slot_plan`), cached
+      per ``(rule, delta position)`` across rounds, and read candidate
+      cells directly from the store's columns;
+    * emission appends plain ints to the ground program's parallel
+      arrays through per-predicate interning closures -- no
+      :class:`Fact` object, no constant decoding, anywhere.
+    """
+
+    def __init__(self, program: Program, database: Database):
+        self.program = program
+        idbs = program.idb_predicates
+        self.store = database.columnar_store().copy()
+        symbols = self.store.symbols
+        self.cground = ColumnarGroundProgram(program, symbols)
+        self.slot_counts: List[int] = []
+        self.bodies: List[Tuple[_SlotAtom, ...]] = []
+        self.emit_plans: List[Tuple] = []
+        for rule in program.rules:
+            slot_of = {
+                var: slot
+                for slot, var in enumerate(sorted(rule.variables, key=lambda v: v.name))
+            }
+            self.slot_counts.append(len(slot_of))
+            # Heads first, with interning (see _CompiledAtom on why
+            # body atoms may use the non-inserting probe).
+            head = _SlotAtom(rule.head, symbols, slot_of, intern=True)
+            body = tuple(_SlotAtom(atom, symbols, slot_of) for atom in rule.body)
+            self.bodies.append(body)
+            self.emit_plans.append(
+                (
+                    head.predicate,
+                    _row_builder(head.terms),
+                    self.cground.interner(head.predicate),
+                    tuple(
+                        (
+                            _row_builder(atom.terms),
+                            atom.predicate in idbs,
+                            self.cground.interner(atom.predicate),
+                        )
+                        for atom in body
+                    ),
+                )
+            )
+        self.derived: Set[Tuple[str, Tuple[int, ...]]] = set()
+        self.iterations = 0
+        self.stats = _stats()
+        # Emission writes the ground program's parallel arrays through
+        # bound methods: ColumnarGroundProgram.append_rule's per-call
+        # cache invalidation is pointless mid-build (the lazy CSR /
+        # id-set caches are first read after the run), and the bound
+        # appends shave a call per rule off the hottest emit path.
+        cground = self.cground
+        self._idb_flat = cground.idb_flat
+        self._edb_flat = cground.edb_flat
+        self._append_head = cground.rule_head.append
+        self._append_no = cground.rule_no.append
+        self._append_idb_ptr = cground.idb_indptr.append
+        self._append_edb_ptr = cground.edb_indptr.append
+
+    def _emit(
+        self, rule_index: int, theta: List[int], round_seen: Set[Tuple]
+    ) -> Optional[Tuple[str, Tuple[int, ...]]]:
+        key = (rule_index, *theta)
+        if key in round_seen:
+            return None
+        round_seen.add(key)
+        head_pred, head_build, head_intern, body_plan = self.emit_plans[rule_index]
+        head_ids = head_build(theta)
+        idb_flat, edb_flat = self._idb_flat, self._edb_flat
+        for build, is_idb, intern in body_plan:
+            fid = intern(build(theta))
+            (idb_flat if is_idb else edb_flat).append(fid)
+        self._append_head(head_intern(head_ids))
+        self._append_no(rule_index)
+        self._append_idb_ptr(len(idb_flat))
+        self._append_edb_ptr(len(edb_flat))
+        return (head_pred, head_ids)
+
+    def run(self) -> "_ColumnarProgramGrounder":
+        store = self.store
+        stats = self.stats
+        derived = self.derived
+        emit = self._emit
+        fresh: Set[Tuple[str, Tuple[int, ...]]] = set()
+        round_seen: Set[Tuple] = set()
+
+        # Round 0: full join of every rule, selectivity-ordered.
+        for rule_index, body in enumerate(self.bodies):
+            plan = _compile_slot_plan(_order_slot_atoms(body, store, set()), set())
+            theta = [-1] * self.slot_counts[rule_index]
+            for _ in _enum_slot_plan(plan, 0, store, theta, stats):
+                head = emit(rule_index, theta, round_seen)
+                if head is not None and head not in derived:
+                    fresh.add(head)
+        self.iterations = 1
+
+        # Delta plans are compiled on first need and reused across
+        # rounds: the bound-slot set depends only on (rule, position),
+        # and freezing the atom order at first compilation keeps later
+        # rounds free of the O(k²) ordering pass.
+        delta_plans: Dict[Tuple[int, int], Tuple] = {}
+        while fresh:
+            self.iterations += 1
+            mark = store.watermark()
+            for predicate, ids in sorted(fresh):
+                derived.add((predicate, ids))
+                store.insert_ids(predicate, ids)
+            deltas = store.deltas_since(mark)
+            fresh = set()
+            round_seen.clear()
+            for rule_index, body in enumerate(self.bodies):
+                nslots = self.slot_counts[rule_index]
+                for position, atom in enumerate(body):
+                    view = deltas.get((atom.predicate, atom.arity))
+                    if view is None or atom.impossible:
+                        continue
+                    plan_key = (rule_index, position)
+                    plan = delta_plans.get(plan_key)
+                    if plan is None:
+                        rest = [a for at, a in enumerate(body) if at != position]
+                        bound = set(atom.slots)
+                        plan = _compile_slot_plan(
+                            _order_slot_atoms(rest, store, bound), bound
+                        )
+                        delta_plans[plan_key] = plan
+                    const_items = atom.const_items
+                    var_items = atom.var_items
+                    for row in view.id_rows():
+                        stats.probes += 1
+                        ok = True
+                        for pos, sid in const_items:
+                            if row[pos] != sid:
+                                ok = False
+                                break
+                        if not ok:
+                            continue
+                        theta = [-1] * nslots
+                        for pos, slot in var_items:
+                            sid = row[pos]
+                            bound_sid = theta[slot]
+                            if bound_sid < 0:
+                                theta[slot] = sid
+                            elif bound_sid != sid:
+                                ok = False
+                                break
+                        if not ok:
+                            continue
+                        stats.matches += 1
+                        for _ in _enum_slot_plan(plan, 0, store, theta, stats):
+                            head = emit(rule_index, theta, round_seen)
+                            if head is not None and head not in derived:
+                                fresh.add(head)
+        stats.ground_rules += len(self.cground)
+        return self
+
+
+def columnar_grounding(program: Program, database: Database) -> ColumnarGroundProgram:
+    """Relevant grounding straight into id space (DESIGN.md §9).
+
+    Runs the same fused delta-driven pass as
+    ``relevant_grounding(engine="columnar")`` but emits a
+    :class:`ColumnarGroundProgram` -- ground rules as parallel int
+    arrays over interned fact ids -- instead of decoding every ground
+    rule back into :class:`Fact` tuples.  The ``strategy="columnar"``
+    fixpoint (:mod:`repro.datalog.seminaive`) and the circuit
+    constructions consume it directly; its
+    :meth:`~ColumnarGroundProgram.to_ground_program` /
+    :meth:`~ColumnarGroundProgram.rule_keys` recover the tuple form at
+    the boundary.  The result's ``iterations`` records the Boolean
+    fixpoint rounds of the pass (the :func:`derivable_facts` count).
+    """
+    grounder = _ColumnarProgramGrounder(program, database).run()
+    cground = grounder.cground
+    cground.iterations = grounder.iterations
+    return cground
+
+
 def _relevant_grounding_naive(program: Program, database: Database) -> GroundProgram:
     """Reference implementation: fixpoint, then re-join every rule."""
     derived, _ = _derivable_facts_naive(program, database)
@@ -1013,6 +1758,7 @@ def _relevant_grounding_naive(program: Program, database: Database) -> GroundPro
 
     ground_rules: List[GroundRule] = []
     seen: Set[Tuple] = set()
+    stats = _stats()
     for rule_index, rule in enumerate(program.rules):
         for theta in _join(rule.body, index, {}):
             head = rule.head.substitute(theta).to_fact()
@@ -1026,7 +1772,7 @@ def _relevant_grounding_naive(program: Program, database: Database) -> GroundPro
             if key not in seen:
                 seen.add(key)
                 ground_rules.append(GroundRule(head, idb_body, edb_body, rule_index))
-                GROUNDING_STATS.ground_rules += 1
+                stats.ground_rules += 1
     return GroundProgram(program, ground_rules)
 
 
@@ -1081,6 +1827,7 @@ def _full_grounding_joined(
     domain = sorted(database.active_domain(), key=repr)
     idbs = program.idb_predicates
     ground_rules: List[GroundRule] = []
+    stats = _stats()
     for rule_index, rule in enumerate(program.rules):
         edb_atoms = [a for a in rule.body if a.predicate not in idbs]
         count_bindings, bindings = make_bindings(edb_atoms)
@@ -1098,7 +1845,7 @@ def _full_grounding_joined(
             )
         for edb_theta in bindings():
             for values in product(domain, repeat=len(free)):
-                GROUNDING_STATS.probes += 1
+                stats.probes += 1
                 theta = dict(edb_theta)
                 theta.update(zip(free, map(Constant, values)))
                 head = rule.head.substitute(theta).to_fact()
@@ -1111,7 +1858,7 @@ def _full_grounding_joined(
                     if a.predicate not in idbs
                 )
                 ground_rules.append(GroundRule(head, idb_body, edb_body, rule_index))
-                GROUNDING_STATS.ground_rules += 1
+                stats.ground_rules += 1
     return GroundProgram(program, ground_rules)
 
 
@@ -1173,6 +1920,7 @@ def _full_grounding_naive(
     idbs = program.idb_predicates
     ground_rules: List[GroundRule] = []
     seen: Set[Tuple] = set()
+    stats = _stats()
     for rule_index, rule in enumerate(program.rules):
         rule_vars = sorted(rule.variables, key=lambda v: v.name)
         total = len(domain) ** len(rule_vars)
@@ -1187,7 +1935,7 @@ def _full_grounding_naive(
                 {**theta, var: Constant(value)} for theta in assignments for value in domain
             ]
         for theta in assignments:
-            GROUNDING_STATS.probes += 1
+            stats.probes += 1
             edb_body = tuple(
                 a.substitute(theta).to_fact() for a in rule.body if a.predicate not in idbs
             )
@@ -1201,5 +1949,5 @@ def _full_grounding_naive(
             if key not in seen:
                 seen.add(key)
                 ground_rules.append(GroundRule(head, idb_body, edb_body, rule_index))
-                GROUNDING_STATS.ground_rules += 1
+                stats.ground_rules += 1
     return GroundProgram(program, ground_rules)

@@ -27,11 +27,16 @@ callers and benchmarks can measure the combination directly.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional
+from typing import Hashable, List, Optional, Union
 
 from .ast import Atom, Constant, DatalogError, Fact, Program, Rule
 from .database import Database
-from .grounding import GroundProgram, relevant_grounding
+from .grounding import (
+    ColumnarGroundProgram,
+    GroundProgram,
+    columnar_grounding,
+    relevant_grounding,
+)
 
 __all__ = [
     "magic_specialize",
@@ -97,7 +102,8 @@ def magic_grounding(
     source: Hashable,
     database: Database,
     engine: Optional[str] = None,
-) -> GroundProgram:
+    columnar: bool = False,
+) -> Union[GroundProgram, ColumnarGroundProgram]:
     """Specialize *program* on *source* and ground the result.
 
     Equivalent to ``relevant_grounding(magic_specialize(program,
@@ -109,8 +115,18 @@ def magic_grounding(
     program on an ``m``-edge input, versus ``Θ(n·m)`` without
     specialization -- the separation
     ``benchmarks/bench_ablation_grounding.py`` measures.
+
+    With ``columnar=True`` the rewrite composes with
+    :func:`~repro.datalog.grounding.columnar_grounding` instead: the
+    result is an id-space
+    :class:`~repro.datalog.grounding.ColumnarGroundProgram` (same rule
+    set -- ``rule_keys()`` matches the tuple form) ready for the
+    ``strategy="columnar"`` fixpoint, and *engine* is ignored.
     """
-    return relevant_grounding(magic_specialize(program, source), database, engine=engine)
+    specialized = magic_specialize(program, source)
+    if columnar:
+        return columnar_grounding(specialized, database)
+    return relevant_grounding(specialized, database, engine=engine)
 
 
 def specialized_fact(program: Program, source: Hashable, other: Hashable) -> Fact:

@@ -50,8 +50,10 @@ from .ast import Fact, Program
 from .database import Database
 from .evaluation import DivergenceError, EvaluationResult, _naive_fixpoint
 from .grounding import (
+    ColumnarGroundProgram,
     GroundProgram,
     _resolve_engine,
+    columnar_grounding,
     derivable_facts,
     relevant_grounding,
 )
@@ -59,6 +61,7 @@ from .grounding import (
 __all__ = [
     "NAIVE",
     "SEMINAIVE",
+    "COLUMNAR",
     "STRATEGIES",
     "DEFAULT_STRATEGY",
     "FixpointEngine",
@@ -67,7 +70,8 @@ __all__ = [
 
 NAIVE = "naive"
 SEMINAIVE = "seminaive"
-STRATEGIES = (NAIVE, SEMINAIVE)
+COLUMNAR = "columnar"
+STRATEGIES = (NAIVE, SEMINAIVE, COLUMNAR)
 
 #: Strategy used when callers do not pick one explicitly.  Semi-naive
 #: computes the identical fixpoint with strictly fewer rule
@@ -125,10 +129,25 @@ class FixpointEngine:
         Same contract as
         :func:`repro.datalog.evaluation.naive_evaluation` (which now
         delegates here): *weights* overrides stored annotations,
-        *ground* reuses a precomputed grounding, ``max_iterations``
-        defaults to ``max(#IDB facts, 1) + 2`` and guards non-stable
-        semirings.
+        *ground* reuses a precomputed grounding (tuple-space
+        :class:`~repro.datalog.grounding.GroundProgram` or id-space
+        :class:`~repro.datalog.grounding.ColumnarGroundProgram` --
+        each strategy lowers or decodes the other form at the
+        boundary), ``max_iterations`` defaults to
+        ``max(#IDB facts, 1) + 2`` and guards non-stable semirings.
         """
+        if self.strategy == COLUMNAR:
+            return self._evaluate_columnar(
+                program,
+                database,
+                semiring,
+                weights,
+                ground,
+                max_iterations,
+                raise_on_divergence,
+            )
+        if isinstance(ground, ColumnarGroundProgram):
+            ground = ground.to_ground_program()
         if ground is None:
             ground = relevant_grounding(program, database, engine=self.grounding_engine)
         edb_value = dict(database.valuation(semiring))
@@ -157,6 +176,57 @@ class FixpointEngine:
             iterations,
             converged,
             strategy=self.strategy,
+            rule_evaluations=rule_evaluations,
+        )
+
+    def _evaluate_columnar(
+        self,
+        program: Program,
+        database: Database,
+        semiring: Semiring,
+        weights: Optional[Mapping[Fact, object]],
+        ground,
+        max_iterations: Optional[int],
+        raise_on_divergence: bool,
+    ) -> EvaluationResult:
+        """The id-space fixpoint: ground (or lower) into a
+        :class:`~repro.datalog.grounding.ColumnarGroundProgram`, run
+        :func:`_columnar_fixpoint` on dense arrays, decode only the
+        result values."""
+        if ground is None:
+            engine = _resolve_engine(self.grounding_engine)
+            if engine == "columnar":
+                cground = columnar_grounding(program, database)
+            else:
+                cground = ColumnarGroundProgram.from_ground_program(
+                    relevant_grounding(program, database, engine=engine)
+                )
+        elif isinstance(ground, ColumnarGroundProgram):
+            cground = ground
+        else:
+            cground = ColumnarGroundProgram.from_ground_program(ground)
+        edb_value = database.valuation(semiring)  # already a fresh copy
+        if weights:
+            edb_value.update(weights)
+        head_fids = cground.idb_fact_ids()
+        if max_iterations is None:
+            max_iterations = max(len(head_fids), 1) + 2
+        value, iterations, converged, rule_evaluations = _columnar_fixpoint(
+            cground, semiring, edb_value, max_iterations
+        )
+        if not converged and raise_on_divergence:
+            raise DivergenceError(
+                f"{self.strategy} evaluation over {semiring.name} did not "
+                f"converge in {max_iterations} iterations"
+            )
+        decode = cground.decode_fact
+        values = {decode(fid): value[fid] for fid in head_fids}
+        return EvaluationResult(
+            semiring,
+            values,
+            iterations,
+            converged,
+            strategy=COLUMNAR,
             rule_evaluations=rule_evaluations,
         )
 
@@ -270,3 +340,233 @@ def _seminaive_fixpoint(
             next_dirty.update(by_body.get(fact, ()))
         dirty_rules = sorted(next_dirty)
     return values, iterations, converged, rule_evaluations
+
+
+#: Compiled fixpoint kernels keyed by ``(add, mul)`` expression
+#: templates (shared across semiring instances with equal templates).
+_FIXPOINT_KERNELS: Dict[Tuple[str, str], object] = {}
+
+#: The delta loop of :func:`_columnar_fixpoint` with the two semiring
+#: operations spliced in as expressions (no method call per ⊗/⊕) --
+#: the same closure-compiler technique as the circuit runtime's
+#: kernels (DESIGN.md §7).  ``eq`` stays a bound-method call: the
+#: expression templates only promise ``add``/``mul`` equivalence, and
+#: a semiring may override equality independently.
+_KERNEL_SOURCE = """\
+def _kernel(value, idb_rows, edb_rows, rule_head,
+            by_head_ptr, by_head_rules, by_body_ptr, by_body_rules,
+            nfacts, nrules, max_iterations, zero, one, eq):
+    edb_product = []
+    append_product = edb_product.append
+    for position in range(nrules):
+        term = one
+        for fid in edb_rows[position]:
+            other = value[fid]
+            term = {mul_expr}
+        append_product(term)
+    rule_term = [zero] * nrules
+    head_mark = bytearray(nfacts)
+    dirty_rules = range(nrules)
+    iterations = 0
+    converged = False
+    rule_evaluations = 0
+    while iterations < max_iterations:
+        dirty_heads = []
+        for position in dirty_rules:
+            term = edb_product[position]
+            for fid in idb_rows[position]:
+                other = value[fid]
+                term = {mul_expr}
+            rule_term[position] = term
+            head = rule_head[position]
+            if not head_mark[head]:
+                head_mark[head] = 1
+                dirty_heads.append(head)
+        rule_evaluations += len(dirty_rules)
+        delta_fids = []
+        delta_values = []
+        for head in dirty_heads:
+            head_mark[head] = 0
+            total = zero
+            for at in range(by_head_ptr[head], by_head_ptr[head + 1]):
+                other = rule_term[by_head_rules[at]]
+                total = {add_expr}
+            if not eq(total, value[head]):
+                delta_fids.append(head)
+                delta_values.append(total)
+        iterations += 1
+        if not delta_fids:
+            converged = True
+            break
+        for at in range(len(delta_fids)):
+            value[delta_fids[at]] = delta_values[at]
+        rule_mark = bytearray(nrules)
+        next_dirty = []
+        for head in delta_fids:
+            for at in range(by_body_ptr[head], by_body_ptr[head + 1]):
+                position = by_body_rules[at]
+                if not rule_mark[position]:
+                    rule_mark[position] = 1
+                    next_dirty.append(position)
+        next_dirty.sort()
+        dirty_rules = next_dirty
+    return iterations, converged, rule_evaluations
+"""
+
+
+def _fixpoint_kernel(add_template: str, mul_template: str):
+    """The compiled delta-loop kernel for one pair of operation
+    templates, generated once and cached."""
+    key = (add_template, mul_template)
+    kernel = _FIXPOINT_KERNELS.get(key)
+    if kernel is None:
+        source = _KERNEL_SOURCE.format(
+            add_expr=add_template.format(a="total", b="other"),
+            mul_expr=mul_template.format(a="term", b="other"),
+        )
+        namespace: Dict[str, object] = {}
+        exec(source, namespace)  # noqa: S102 - closure compiler, pure templates
+        kernel = namespace["_kernel"]
+        _FIXPOINT_KERNELS[key] = kernel
+    return kernel
+
+
+def _columnar_fixpoint(
+    cground: ColumnarGroundProgram,
+    semiring: Semiring,
+    edb_value: Mapping[Fact, object],
+    max_iterations: int,
+) -> Tuple[List[object], int, bool, int]:
+    """The delta-driven loop of :func:`_seminaive_fixpoint`, run on the
+    id-space grounding (DESIGN.md §9).
+
+    Identical round structure (Jacobi: every round-``t`` ⊗-term reads
+    round-``t − 1`` values, updates land after all dirty heads are
+    re-folded), so values, iteration counts, the ``converged`` flag
+    and divergence behaviour coincide with both tuple strategies.
+    The representation differs: values live in one dense list indexed
+    by fact id (EDB slots filled once from *edb_value*, IDB slots
+    starting at ``0``), per-rule cached ⊗-terms in a parallel list,
+    and the dirty sets are flat int lists deduplicated through
+    ``bytearray`` marks over the CSR adjacency
+    (:meth:`~repro.datalog.grounding.ColumnarGroundProgram.by_body_csr`
+    /
+    :meth:`~repro.datalog.grounding.ColumnarGroundProgram.by_head_csr`)
+    -- no :class:`Fact` is hashed or decoded anywhere in the loop.
+    Semiring ``⊗``/``⊕`` folds stay object-space calls on the dense
+    arrays, so every existing semiring works unchanged (the hybrid
+    mode).
+
+    Returns ``(value, iterations, converged, rule_evaluations)`` with
+    *value* indexed by fact id; the caller decodes the IDB slots.
+    """
+    nrules = len(cground)
+    nfacts = cground.fact_count
+    idb_indptr, idb_flat = cground.idb_indptr, cground.idb_flat
+    edb_indptr, edb_flat = cground.edb_indptr, cground.edb_flat
+    rule_head = cground.rule_head
+    by_head_ptr, by_head_rules = cground.by_head_csr()
+    by_body_ptr, by_body_rules = cground.by_body_csr()
+    mul, add, eq, zero = semiring.mul, semiring.add, semiring.eq, semiring.zero
+
+    # Dense valuation: EDB slots are decoded once per distinct EDB
+    # fact; IDB slots start at 0 exactly like the tuple strategies.
+    value: List[object] = [zero] * nfacts
+    decode = cground.decode_fact
+    for fid in cground.edb_fact_ids():
+        value[fid] = edb_value[decode(fid)]
+
+    # Per-rule body rows as small tuples: the ⊗-recomputation re-reads
+    # the IDB rows every round a rule is dirty, so one flattening pass
+    # beats per-eval CSR range arithmetic.
+    idb_rows: List[Tuple[int, ...]] = [
+        tuple(idb_flat[idb_indptr[position] : idb_indptr[position + 1]])
+        for position in range(nrules)
+    ]
+    edb_rows: List[Tuple[int, ...]] = [
+        tuple(edb_flat[edb_indptr[position] : edb_indptr[position + 1]])
+        for position in range(nrules)
+    ]
+    one = semiring.one
+
+    # Semirings that declare closure-compiler templates (DESIGN.md §7)
+    # run the exec-generated kernel -- the identical loop (including
+    # the stage-invariant EDB-product pass) with ⊗/⊕ inlined as
+    # expressions; everything else takes the generic bound-method loop
+    # below.  Both are Jacobi round-for-round.
+    if semiring.compiled_add_expr and semiring.compiled_mul_expr:
+        kernel = _fixpoint_kernel(semiring.compiled_add_expr, semiring.compiled_mul_expr)
+        iterations, converged, rule_evaluations = kernel(
+            value,
+            idb_rows,
+            edb_rows,
+            rule_head,
+            by_head_ptr,
+            by_head_rules,
+            by_body_ptr,
+            by_body_rules,
+            nfacts,
+            nrules,
+            max_iterations,
+            zero,
+            one,
+            eq,
+        )
+        return value, iterations, converged, rule_evaluations
+
+    # Stage-invariant EDB products and the per-rule cached term slots.
+    edb_product: List[object] = []
+    append_product = edb_product.append
+    for position in range(nrules):
+        term = one
+        for fid in edb_rows[position]:
+            term = mul(term, value[fid])
+        append_product(term)
+    rule_term: List[object] = [zero] * nrules
+
+    head_mark = bytearray(nfacts)
+    dirty_rules: Iterable[int] = range(nrules)
+    iterations = 0
+    converged = False
+    rule_evaluations = 0
+    while iterations < max_iterations:
+        dirty_heads: List[int] = []
+        for position in dirty_rules:
+            term = edb_product[position]
+            for fid in idb_rows[position]:
+                term = mul(term, value[fid])
+            rule_term[position] = term
+            rule_evaluations += 1
+            head = rule_head[position]
+            if not head_mark[head]:
+                head_mark[head] = 1
+                dirty_heads.append(head)
+        # Re-fold dirty heads from cached terms; batch the updates so
+        # every term in this round read the previous round's values.
+        delta_fids: List[int] = []
+        delta_values: List[object] = []
+        for head in dirty_heads:
+            head_mark[head] = 0
+            total = zero
+            for at in range(by_head_ptr[head], by_head_ptr[head + 1]):
+                total = add(total, rule_term[by_head_rules[at]])
+            if not eq(total, value[head]):
+                delta_fids.append(head)
+                delta_values.append(total)
+        iterations += 1
+        if not delta_fids:
+            converged = True
+            break
+        for head, total in zip(delta_fids, delta_values):
+            value[head] = total
+        rule_mark = bytearray(nrules)
+        next_dirty: List[int] = []
+        for head in delta_fids:
+            for at in range(by_body_ptr[head], by_body_ptr[head + 1]):
+                position = by_body_rules[at]
+                if not rule_mark[position]:
+                    rule_mark[position] = 1
+                    next_dirty.append(position)
+        next_dirty.sort()
+        dirty_rules = next_dirty
+    return value, iterations, converged, rule_evaluations

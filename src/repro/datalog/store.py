@@ -17,7 +17,10 @@ high-performance Datalog engines:
   table (:data:`GLOBAL_SYMBOLS`) is shared by default so ids are
   stable across relations, stores and engine runs -- exactly the
   property a partitioned / multi-process fixpoint needs to exchange
-  rows without re-encoding them.
+  rows without re-encoding them.  The shared table is append-only
+  while ids are live, so long-lived processes scope interning per
+  workload with :func:`scoped_symbols` (or tear it down with
+  :meth:`SymbolTable.clear` between workloads).
 * :class:`ColumnarRelation` -- each relation is a struct-of-arrays:
   one append-only ``array('q')`` per argument position, plus a
   row-key dict for O(1) dedup/membership.  The writer is
@@ -50,6 +53,8 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left, bisect_right
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import (
     Dict,
@@ -68,6 +73,8 @@ from .ast import DatalogError, Fact
 __all__ = [
     "SymbolTable",
     "GLOBAL_SYMBOLS",
+    "default_symbols",
+    "scoped_symbols",
     "ColumnarRelation",
     "ColumnarStore",
     "DeltaView",
@@ -137,10 +144,74 @@ class SymbolTable:
         values = self._values
         return tuple(values[s] for s in symbols)
 
+    def clear(self) -> None:
+        """Forget every interning, in place (the table object survives).
+
+        Ids are dense first-intern ordinals, so clearing re-assigns
+        them from 0: every id handed out before the clear is invalid
+        afterwards.  Only call when no live :class:`ColumnarStore`,
+        cached :meth:`~repro.datalog.database.Database.columnar_store`
+        snapshot or :class:`ColumnarGroundProgram` still references
+        this table -- e.g. between workloads in a long-lived process,
+        after the previous workload's databases are discarded.  For
+        isolation *without* a teardown obligation, prefer
+        :func:`scoped_symbols`.
+        """
+        self._ids.clear()
+        self._values.clear()
+
 
 #: The process-wide default table: every constant is interned once,
 #: whichever database, store or engine run encounters it first.
+#:
+#: Process-lifetime contract: the table is append-only while anything
+#: references its ids, so a long-lived process that churns through
+#: many short-lived databases with unique constants grows it without
+#: bound.  Such processes should either scope interning per workload
+#: (:func:`scoped_symbols`, which tests and benchmarks here use by
+#: default) or :meth:`~SymbolTable.clear` it at a point where no store
+#: built on it survives.
 GLOBAL_SYMBOLS = SymbolTable()
+
+#: Context-local override of the default interning table; ``None``
+#: selects :data:`GLOBAL_SYMBOLS`.  Set via :func:`scoped_symbols`.
+_SCOPED_SYMBOLS: ContextVar[Optional[SymbolTable]] = ContextVar(
+    "repro_scoped_symbols", default=None
+)
+
+
+def default_symbols() -> SymbolTable:
+    """The table stores intern into when none is passed explicitly:
+    the innermost :func:`scoped_symbols` table, else
+    :data:`GLOBAL_SYMBOLS`."""
+    table = _SCOPED_SYMBOLS.get()
+    return GLOBAL_SYMBOLS if table is None else table
+
+
+@contextmanager
+def scoped_symbols(table: Optional[SymbolTable] = None):
+    """Run a block against a private default symbol table.
+
+    Inside the ``with`` block, every store, database materialization
+    or grounding run that would have interned into
+    :data:`GLOBAL_SYMBOLS` interns into *table* (a fresh
+    :class:`SymbolTable` by default) instead, so transient constants
+    are reclaimed with the table when the block's objects die -- the
+    process-wide table never sees them.  Scopes nest; the previous
+    default is restored on exit.  The binding is context-local
+    (:mod:`contextvars`), so concurrent tasks cannot leak scopes into
+    each other.
+
+    Stores built inside the scope keep their table reference and stay
+    fully usable after exit; only *new* default-table lookups revert.
+    """
+    if table is None:
+        table = SymbolTable()
+    token = _SCOPED_SYMBOLS.set(table)
+    try:
+        yield table
+    finally:
+        _SCOPED_SYMBOLS.reset(token)
 
 
 class _PatternIndex:
@@ -371,7 +442,7 @@ class ColumnarStore:
     __slots__ = ("symbols", "_relations")
 
     def __init__(self, symbols: Optional[SymbolTable] = None):
-        self.symbols = GLOBAL_SYMBOLS if symbols is None else symbols
+        self.symbols = default_symbols() if symbols is None else symbols
         self._relations: Dict[Tuple[str, int], ColumnarRelation] = {}
 
     @classmethod

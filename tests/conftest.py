@@ -4,7 +4,22 @@ from __future__ import annotations
 
 import pytest
 
-from repro.datalog import Database, Fact, transitive_closure
+from repro.datalog import Database, Fact, scoped_symbols, transitive_closure
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _private_symbol_scope():
+    """Intern into a session-private symbol table by default.
+
+    The process-wide ``GLOBAL_SYMBOLS`` is append-only for the life of
+    the process (src/repro/datalog/store.py), so the suite -- which
+    churns through thousands of throwaway constants -- scopes its
+    interning instead of growing the table every run.  Tests that pin
+    the global table's behaviour reference ``GLOBAL_SYMBOLS``
+    explicitly and are unaffected.
+    """
+    with scoped_symbols():
+        yield
 
 
 @pytest.fixture

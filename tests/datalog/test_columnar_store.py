@@ -35,6 +35,7 @@ from repro.datalog import (
     magic_specialize,
     relevant_grounding,
     same_generation,
+    scoped_symbols,
     transitive_closure,
 )
 from repro.semirings import BOOLEAN, TROPICAL
@@ -188,6 +189,80 @@ def test_pattern_index_matches_bruteforce_filter(seed, arity, rows, extra):
         if all(row[p] == (key if len(positions) == 1 else key[at]) for at, p in enumerate(positions))
     )
     assert got == want
+
+
+@given(
+    seed=st.integers(0, 100_000),
+    arity=st.integers(1, 3),
+    nops=st.integers(1, 120),
+)
+@settings(max_examples=60, deadline=None)
+def test_pattern_index_interleaved_ops_match_reference(seed, arity, nops):
+    """Interleaved appends, pattern lookups and delta reads against a
+    naive reference model.
+
+    The build path (index constructed over a finished relation) is
+    exercised everywhere; this drives the *pending-tail* path instead:
+    lookups keep landing between appends, so tails are probed and
+    merged at every fill level, interleaved with watermark/delta reads
+    over the same append log (the ISSUE 5 pattern-index satellite).
+    """
+    rng = random.Random(seed)
+    store = ColumnarStore(SymbolTable())
+    reference: list = []  # deduplicated id rows in append order
+    resident = set()
+    marks: list = []  # (watermark, reference length when taken)
+    relation = None
+
+    def random_row():
+        return tuple(store.symbols.intern(rng.randrange(6)) for _ in range(arity))
+
+    for _ in range(nops):
+        action = rng.random()
+        if action < 0.5 or relation is None:
+            row = random_row()
+            store.insert_ids("R", row)
+            if row not in resident:
+                resident.add(row)
+                reference.append(row)
+            relation = store.relation("R", arity)
+        elif action < 0.85:
+            positions = tuple(sorted(rng.sample(range(arity), rng.randint(1, arity))))
+            if reference and rng.random() < 0.7:
+                probe = rng.choice(reference)
+                key_values = tuple(probe[p] for p in positions)
+            else:
+                key_values = tuple(rng.randrange(6) for _ in positions)
+            key = key_values[0] if len(positions) == 1 else key_values
+            got = sorted(relation.row(i) for i in relation.lookup(positions, key))
+            want = sorted(
+                row
+                for row in reference
+                if all(row[p] == kv for p, kv in zip(positions, key_values))
+            )
+            assert got == want, (positions, key)
+        elif action < 0.95:
+            marks.append((store.watermark(), len(reference)))
+        elif marks:
+            mark, at = marks.pop(rng.randrange(len(marks)))
+            views = store.deltas_since(mark)
+            got = sorted(row for view in views.values() for row in view.id_rows())
+            assert got == sorted(reference[at:])
+
+    # Closing sweep: every index the run built must still agree with a
+    # full scan on every row's key.
+    if relation is not None:
+        for positions in list(relation._indexes):
+            for row in reference:
+                key_values = tuple(row[p] for p in positions)
+                key = key_values[0] if len(positions) == 1 else key_values
+                got = sorted(relation.row(i) for i in relation.lookup(positions, key))
+                want = sorted(
+                    r
+                    for r in reference
+                    if all(r[p] == kv for p, kv in zip(positions, key_values))
+                )
+                assert got == want
 
 
 def test_pattern_index_empty_positions_scans_everything():
@@ -399,6 +474,58 @@ def test_head_constants_chain_into_body_lookups():
     columnar_facts, _ = derivable_facts(program, db, engine="columnar")
     assert naive_facts == columnar_facts
     assert Fact("Q", (1,)) in columnar_facts
+
+
+def test_symbol_table_clear_resets_in_place():
+    table = SymbolTable()
+    ids = table.intern_row(("a", "b", (1, 2)))
+    assert len(table) == 3 and len(set(ids)) == 3
+    table.clear()
+    assert len(table) == 0
+    assert table.get("a") is None
+    assert "b" not in table
+    # Dense ids restart from 0: the table object itself survives.
+    assert table.intern("c") == 0
+
+
+def test_scoped_symbols_keeps_default_table_clean():
+    """The GLOBAL_SYMBOLS leak regression (ISSUE 5): a workload run
+    inside scoped_symbols() must not intern a single constant into the
+    surrounding default table, across every columnar entry point."""
+    from repro.datalog import GLOBAL_SYMBOLS, columnar_grounding, default_symbols
+
+    outer = default_symbols()
+    outer_before = len(outer)
+    global_before = len(GLOBAL_SYMBOLS)
+    with scoped_symbols() as table:
+        assert default_symbols() is table
+        db = Database.from_edges([("scoped-only-u", "scoped-only-v")])
+        store = db.columnar_store()
+        assert store.symbols is table
+        assert len(relevant_grounding(TC, db, engine="columnar").rules) == 1
+        assert len(columnar_grounding(TC, db)) == 1
+        assert len(table) > 0
+    assert default_symbols() is outer
+    assert len(outer) == outer_before
+    assert len(GLOBAL_SYMBOLS) == global_before
+    assert GLOBAL_SYMBOLS.get("scoped-only-u") is None
+    # Objects built inside the scope stay usable after exit.
+    assert store.contains_fact(Fact("E", ("scoped-only-u", "scoped-only-v")))
+
+
+def test_scoped_symbols_nests_and_accepts_explicit_table():
+    from repro.datalog import default_symbols
+
+    mine = SymbolTable()
+    with scoped_symbols() as outer:
+        assert default_symbols() is outer
+        with scoped_symbols(mine) as inner:
+            assert inner is mine
+            assert default_symbols() is mine
+            ColumnarStore().insert_fact(Fact("E", ("nested-constant",)))
+        assert default_symbols() is outer
+        assert outer.get("nested-constant") is None
+    assert mine.get("nested-constant") is not None
 
 
 def test_columnar_store_private_symbol_table_sticks():

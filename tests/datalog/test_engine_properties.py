@@ -5,7 +5,15 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.datalog import Database, derivable_facts, enumerate_tight_proof_trees, naive_evaluation, provenance_by_proof_trees, relevant_grounding, transitive_closure
+from repro.datalog import (
+    Database,
+    derivable_facts,
+    enumerate_tight_proof_trees,
+    naive_evaluation,
+    provenance_by_proof_trees,
+    relevant_grounding,
+    transitive_closure,
+)
 from repro.semirings import BOOLEAN, TROPICAL
 
 TC = transitive_closure()

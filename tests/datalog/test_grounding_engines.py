@@ -219,6 +219,75 @@ def test_grounding_stats_counts_ground_rules():
     assert GROUNDING_STATS.matches <= GROUNDING_STATS.probes
 
 
+# -- context-local probe capture (the GROUNDING_STATS satellite) ----------
+
+
+def test_count_join_probes_does_not_touch_the_global_accumulator():
+    """The ISSUE 5 stats-pollution regression: a capture is private --
+    neither its counts leak into GROUNDING_STATS nor the global's
+    prior counts leak into the capture."""
+    db = random_digraph(10, 20, seed=0)
+    GROUNDING_STATS.reset()
+    GROUNDING_STATS.probes = 123_456  # stale noise a capture must not read
+    probes, ground = count_join_probes(lambda: relevant_grounding(TC, db))
+    assert 0 < probes < 123_456
+    assert len(ground.rules) > 0
+    assert GROUNDING_STATS.probes == 123_456  # untouched by the capture
+    GROUNDING_STATS.reset()
+
+
+def test_count_join_probes_nested_captures_stay_separate():
+    db = random_digraph(10, 20, seed=1)
+    solo_indexed, _ = count_join_probes(lambda: relevant_grounding(TC, db))
+    solo_naive, _ = count_join_probes(
+        lambda: relevant_grounding(TC, db, engine="naive")
+    )
+    assert solo_naive > solo_indexed
+
+    def outer():
+        inner, _ = count_join_probes(
+            lambda: relevant_grounding(TC, db, engine="naive")
+        )
+        relevant_grounding(TC, db)
+        return inner
+
+    outer_probes, inner_probes = count_join_probes(outer)
+    # The nested (naive, larger) capture stays out of the outer count.
+    assert outer_probes == solo_indexed
+    assert inner_probes == solo_naive
+
+
+def test_count_join_probes_concurrent_runs_do_not_pollute_each_other():
+    """Interleaved measurements from concurrent threads each see
+    exactly their own run's probes (contextvars isolation)."""
+    import threading
+
+    small = random_digraph(8, 16, seed=2)
+    big = random_digraph(16, 40, seed=3)
+    solo_small, _ = count_join_probes(lambda: relevant_grounding(TC, small))
+    solo_big, _ = count_join_probes(lambda: relevant_grounding(TC, big))
+    assert solo_small != solo_big
+    results = {}
+
+    def measure(name, db, repeats):
+        counts = [
+            count_join_probes(lambda: relevant_grounding(TC, db))[0]
+            for _ in range(repeats)
+        ]
+        results[name] = counts
+
+    threads = [
+        threading.Thread(target=measure, args=("small", small, 4)),
+        threading.Thread(target=measure, args=("big", big, 4)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert results["small"] == [solo_small] * 4
+    assert results["big"] == [solo_big] * 4
+
+
 # -- knob validation ------------------------------------------------------
 
 

@@ -4,7 +4,22 @@ import pytest
 
 from repro.circuits import canonical_polynomial
 from repro.constructions import generic_circuit
-from repro.datalog import Atom, DatalogError, Fact, Program, Rule, Variable, dyck1, magic_specialize, magic_specialize_sink, naive_evaluation, provenance_by_proof_trees, relevant_grounding, specialized_fact, transitive_closure
+from repro.datalog import (
+    Atom,
+    DatalogError,
+    Fact,
+    Program,
+    Rule,
+    Variable,
+    dyck1,
+    magic_specialize,
+    magic_specialize_sink,
+    naive_evaluation,
+    provenance_by_proof_trees,
+    relevant_grounding,
+    specialized_fact,
+    transitive_closure,
+)
 from repro.semirings import BOOLEAN, TROPICAL
 from repro.workloads import random_digraph, random_weights
 

@@ -6,7 +6,16 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.grammars import CFG, ConcatRegex, Regex, StarRegex, SymbolRegex, UnionRegex, pumping_decomposition, regular_pumping_witness
+from repro.grammars import (
+    CFG,
+    ConcatRegex,
+    Regex,
+    StarRegex,
+    SymbolRegex,
+    UnionRegex,
+    pumping_decomposition,
+    regular_pumping_witness,
+)
 
 ALPHABET = "ab"
 

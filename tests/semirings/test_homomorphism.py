@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.semirings import COUNTING, SORP, TROPICAL, VITERBI, boolean_embedding, evaluation_homomorphism, formal_evaluation_homomorphism, positivity_homomorphism
+from repro.semirings import (
+    COUNTING,
+    SORP,
+    TROPICAL,
+    VITERBI,
+    boolean_embedding,
+    evaluation_homomorphism,
+    formal_evaluation_homomorphism,
+    positivity_homomorphism,
+)
 
 
 def test_positivity_homomorphism_tropical():
