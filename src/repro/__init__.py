@@ -23,27 +23,38 @@ Quickstart::
 
 from . import (
     analysis,
+    api,
     boundedness,
     circuits,
+    config,
     constructions,
     datalog,
     grammars,
     reductions,
     semirings,
+    serving,
     workloads,
 )
+from .api import Session, solve
+from .config import ExecutionConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analysis",
+    "api",
     "boundedness",
     "circuits",
+    "config",
     "constructions",
     "datalog",
     "grammars",
     "reductions",
     "semirings",
+    "serving",
     "workloads",
+    "ExecutionConfig",
+    "Session",
+    "solve",
     "__version__",
 ]

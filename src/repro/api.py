@@ -1,0 +1,265 @@
+"""The ``repro.api`` facade: one front door for the whole pipeline.
+
+PRs 1-5 grew the engine bottom-up, and each layer exposed its own
+entry point: ``relevant_grounding(engine=...)``,
+``naive_evaluation(strategy=..., grounding_engine=...)``,
+``magic_grounding(columnar=...)``, ``generic_circuit(engine=...)``,
+``provenance_circuit(optimize_depth=...)``.  This module is the
+redesigned public API on top of them (DESIGN.md §10):
+
+* :class:`~repro.config.ExecutionConfig` -- one frozen bundle of the
+  engine × strategy × construction knobs, accepted by every layer;
+* :func:`solve` -- the one-shot "evaluate this program on this
+  database over this semiring" call;
+* :class:`Session` -- the compile-once handle: it caches the
+  grounding, the per-output-fact circuit constructions and their
+  compiled forms, so many queries against one (program, database)
+  pair pay interning/grounding/compilation once.  The serving stack
+  (:mod:`repro.serving`) holds one ``Session`` per cache entry;
+* :func:`program_fingerprint` / :func:`database_fingerprint` -- the
+  stable content identities the compiled-circuit cache is keyed on.
+
+The historical entry points remain importable and working; their
+knob kwargs are deprecation shims that fold into an
+``ExecutionConfig`` (see :func:`repro.config.merge_legacy_knobs`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from .circuits.runtime import CompiledCircuit, IncrementalEvaluator
+from .config import (
+    DEFAULT_CONFIG,
+    ConfigLike,
+    ExecutionConfig,
+    coerce_config,
+)
+from .constructions.auto import ConstructionChoice, provenance_circuit
+from .constructions.fringe import fringe_circuit
+from .constructions.generic import generic_circuit
+from .datalog.ast import Fact, Program
+from .datalog.database import Database
+from .datalog.evaluation import EvaluationResult
+from .datalog.grounding import (
+    ColumnarGroundProgram,
+    GroundProgram,
+    columnar_grounding,
+    relevant_grounding,
+)
+from .datalog.seminaive import FixpointEngine
+from .semirings import BOOLEAN
+from .semirings.base import Semiring
+
+__all__ = [
+    "ExecutionConfig",
+    "Session",
+    "solve",
+    "program_fingerprint",
+    "database_fingerprint",
+]
+
+
+def program_fingerprint(program: Program) -> str:
+    """A stable content identity for *program* (rules + target).
+
+    Rule ``repr`` is the canonical surface syntax (it round-trips
+    through the parser), so two structurally equal programs agree and
+    any rule or target change moves the fingerprint.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(program.target).encode())
+    for rule in program.rules:
+        digest.update(b"\x00")
+        digest.update(repr(rule).encode())
+    return digest.hexdigest()[:16]
+
+
+def database_fingerprint(database: Database) -> str:
+    """A stable content identity for *database* (facts + weights).
+
+    Facts are folded in sorted-``repr`` order so insertion order does
+    not matter; stored weights participate so a ``set_weight`` call
+    moves the fingerprint (a compiled circuit's *structure* only
+    depends on the facts, but the server's cached base valuations --
+    and therefore correct serving -- depend on the weights too).
+    """
+    digest = hashlib.sha256()
+    for fact in sorted(database.facts(), key=repr):
+        digest.update(b"\x00")
+        digest.update(repr(fact).encode())
+        weight = database.weight(fact)
+        if weight is not None:
+            digest.update(b"\x01")
+            digest.update(repr(weight).encode())
+    return digest.hexdigest()[:16]
+
+
+class Session:
+    """A compile-once handle on one (program, database, config) triple.
+
+    The paper's usage pattern is "build once, query many times"; the
+    session is that pattern as an object.  Everything expensive is
+    computed lazily and cached:
+
+    * :meth:`ground` -- the grounding, in the representation the
+      configured strategy consumes (id-space for
+      ``strategy="columnar"``, tuple-space otherwise);
+    * :meth:`circuit` -- one :class:`ConstructionChoice` per output
+      fact, built by the configured construction (``auto`` runs the
+      paper's decision tree); the choice caches its
+      :class:`CompiledCircuit`;
+    * :meth:`solve` -- the fixpoint over any semiring, reusing the
+      cached grounding.
+
+    The session never mutates its database; callers who mutate it
+    should start a new session (fingerprints make staleness
+    detectable -- the serving layer keys its cache on them).
+    """
+
+    def __init__(self, program: Program, database: Database, config: ConfigLike = None):
+        self.program = program
+        self.database = database
+        self.config = coerce_config(config)
+        self._engine = FixpointEngine(config=self.config.evolve(construction=None))
+        self._ground: Optional[Union[GroundProgram, ColumnarGroundProgram]] = None
+        self._choices: Dict[Fact, ConstructionChoice] = {}
+        self._fingerprint: Optional[Tuple[str, str, str]] = None
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """``(program, database, construction)`` content identity."""
+        if self._fingerprint is None:
+            self._fingerprint = (
+                program_fingerprint(self.program),
+                database_fingerprint(self.database),
+                self.config.resolved_construction,
+            )
+        return self._fingerprint
+
+    # -- fixpoint evaluation -------------------------------------------
+
+    def ground(self) -> Union[GroundProgram, ColumnarGroundProgram]:
+        """The cached grounding, in the strategy's native representation."""
+        if self._ground is None:
+            if self.config.resolved_strategy == "columnar":
+                self._ground = columnar_grounding(self.program, self.database)
+            else:
+                self._ground = relevant_grounding(self.program, self.database, config=self.config)
+        return self._ground
+
+    def solve(
+        self,
+        semiring: Semiring = BOOLEAN,
+        weights: Optional[Mapping[Fact, object]] = None,
+        max_iterations: Optional[int] = None,
+        raise_on_divergence: bool = False,
+    ) -> EvaluationResult:
+        """Least-fixpoint evaluation over *semiring* (cached grounding)."""
+        return self._engine.evaluate(
+            self.program,
+            self.database,
+            semiring,
+            weights=weights,
+            ground=self.ground(),
+            max_iterations=max_iterations,
+            raise_on_divergence=raise_on_divergence,
+        )
+
+    def value(self, fact: Fact, semiring: Semiring = BOOLEAN, **kwargs):
+        """Least-fixpoint value of one *fact* (``0`` if underivable)."""
+        return self.solve(semiring, **kwargs).value(fact)
+
+    # -- circuits ------------------------------------------------------
+
+    def circuit(self, fact: Fact) -> ConstructionChoice:
+        """The cached :class:`ConstructionChoice` for output *fact*.
+
+        ``config.construction`` picks the builder: ``auto`` (default)
+        runs the decision tree of
+        :func:`~repro.constructions.auto.provenance_circuit`;
+        ``generic``/``fringe`` pin Theorem 3.1 / Theorem 6.2.
+        """
+        choice = self._choices.get(fact)
+        if choice is None:
+            construction = self.config.resolved_construction
+            if construction == "auto":
+                choice = provenance_circuit(self.program, self.database, fact, config=self.config)
+            elif construction == "generic":
+                choice = ConstructionChoice(
+                    generic_circuit(self.program, self.database, fact, config=self.config),
+                    construction="generic",
+                    theorem="Theorem 3.1",
+                    reason="pinned by ExecutionConfig(construction='generic')",
+                )
+            else:  # "fringe" (the vocabulary is validated by ExecutionConfig)
+                choice = ConstructionChoice(
+                    fringe_circuit(self.program, self.database, fact, config=self.config),
+                    construction="fringe",
+                    theorem="Theorem 6.2",
+                    reason="pinned by ExecutionConfig(construction='fringe')",
+                )
+            self._choices[fact] = choice
+        return choice
+
+    def compiled(self, fact: Fact) -> CompiledCircuit:
+        """The compiled circuit for output *fact* (cached end to end)."""
+        return self.circuit(fact).compiled()
+
+    def serve(
+        self,
+        fact: Fact,
+        semiring: Semiring = BOOLEAN,
+        assignment: Optional[Mapping[Fact, object]] = None,
+    ) -> IncrementalEvaluator:
+        """An incremental point-update session on *fact*'s circuit.
+
+        *assignment* defaults to the database's stored valuation over
+        *semiring* -- the live-serving seed.
+        """
+        if assignment is None:
+            assignment = self.database.valuation(semiring)
+        return self.circuit(fact).serve(semiring, assignment)
+
+
+def solve(
+    program: Program,
+    database: Database,
+    semiring: Semiring = BOOLEAN,
+    *,
+    config: ConfigLike = None,
+    weights: Optional[Mapping[Fact, object]] = None,
+    ground: Optional[Union[GroundProgram, ColumnarGroundProgram]] = None,
+    max_iterations: Optional[int] = None,
+    raise_on_divergence: bool = False,
+) -> EvaluationResult:
+    """One-shot fixpoint evaluation through the unified facade.
+
+    Equivalent to every historical spelling -- ``naive_evaluation``,
+    ``seminaive_evaluation``, ``FixpointEngine(...).evaluate`` -- with
+    the knobs carried by one :class:`ExecutionConfig`::
+
+        from repro.api import ExecutionConfig, solve
+        result = solve(program, db, TROPICAL,
+                       config=ExecutionConfig(engine="columnar", strategy="columnar"))
+
+    For repeated queries against the same pair, build a
+    :class:`Session` instead.
+    """
+    engine = FixpointEngine(config=coerce_config(config).evolve(construction=None))
+    return engine.evaluate(
+        program,
+        database,
+        semiring,
+        weights=weights,
+        ground=ground,
+        max_iterations=max_iterations,
+        raise_on_divergence=raise_on_divergence,
+    )
+
+
+# Re-exported so `from repro.api import ...` is self-contained.
+DEFAULT_CONFIG = DEFAULT_CONFIG

@@ -26,6 +26,7 @@ from typing import Optional
 from ..boundedness.checker import chain_program_boundedness, expansion_boundedness_certificate
 from ..circuits.circuit import Circuit
 from ..circuits.runtime import CompiledCircuit, IncrementalEvaluator, compile_circuit
+from ..config import ConfigLike, coerce_config
 from ..datalog.ast import Fact, Program
 from ..datalog.database import Database
 from ..datalog.magic import magic_specialize, specialized_fact
@@ -82,9 +83,19 @@ def provenance_circuit(
     database: Database,
     fact: Fact,
     optimize_depth: bool = False,
+    config: ConfigLike = None,
 ) -> ConstructionChoice:
     """Build a provenance circuit for *fact*, choosing the construction
-    by program class (see module docstring)."""
+    by program class (see module docstring).
+
+    *config* threads the unified execution knobs (DESIGN.md §10):
+    ``config.engine`` selects the grounding join engine behind every
+    construction, and ``config.optimize_depth`` is the facade spelling
+    of the *optimize_depth* flag (either one requests the fringe
+    construction when the program class allows it).
+    """
+    config = coerce_config(config)
+    optimize_depth = optimize_depth or config.optimize_depth
     if fact.predicate != program.target:
         program = program.with_target(fact.predicate)
 
@@ -99,7 +110,7 @@ def provenance_circuit(
         if report.bounded:
             bound = report.certificate
     if bound is not None:
-        circuit = bounded_circuit(program, database, bound=bound, facts=fact)
+        circuit = bounded_circuit(program, database, bound=bound, facts=fact, config=config)
         return ConstructionChoice(
             circuit,
             construction="bounded",
@@ -113,7 +124,7 @@ def provenance_circuit(
         source, other = fact.args
         specialized = magic_specialize(program, source)
         target = specialized_fact(program, source, other)
-        circuit = generic_circuit(specialized, database, target)
+        circuit = generic_circuit(specialized, database, target, config=config)
         return ConstructionChoice(
             circuit,
             construction="magic-generic",
@@ -123,7 +134,7 @@ def provenance_circuit(
         )
 
     if optimize_depth and (program.is_linear() or program.is_basic_chain()):
-        circuit = fringe_circuit(program, database, fact)
+        circuit = fringe_circuit(program, database, fact, config=config)
         return ConstructionChoice(
             circuit,
             construction="ullman-van-gelder",
@@ -132,7 +143,7 @@ def provenance_circuit(
             "depth O(log² |I|)",
         )
 
-    circuit = generic_circuit(program, database, fact)
+    circuit = generic_circuit(program, database, fact, config=config)
     return ConstructionChoice(
         circuit,
         construction="generic",

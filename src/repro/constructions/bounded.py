@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Optional, Sequence, Union
 
 from ..circuits.circuit import Circuit
+from ..config import ConfigLike
 from ..datalog.ast import Fact, Program
 from ..datalog.database import Database
 from ..datalog.grounding import GroundProgram
@@ -27,6 +28,7 @@ def bounded_circuit(
     bound: int,
     facts: Optional[Union[Fact, Sequence[Fact]]] = None,
     ground: Optional[GroundProgram] = None,
+    config: ConfigLike = None,
 ) -> Circuit:
     """The Theorem 4.3 circuit: *bound* ICO layers, balanced sums.
 
@@ -39,4 +41,4 @@ def bounded_circuit(
     """
     if bound < 1:
         raise ValueError("the boundedness constant must be ≥ 1")
-    return generic_circuit(program, database, facts, stages=bound, ground=ground)
+    return generic_circuit(program, database, facts, stages=bound, ground=ground, config=config)

@@ -34,12 +34,12 @@ import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..circuits.circuit import Circuit, CircuitBuilder
+from ..config import ConfigLike, merge_legacy_knobs
 from ..datalog.ast import Fact, Program
 from ..datalog.database import Database
 from ..datalog.grounding import (
     ColumnarGroundProgram,
     GroundProgram,
-    _resolve_engine,
     columnar_grounding,
     relevant_grounding,
 )
@@ -74,6 +74,7 @@ def fringe_circuit(
     fringe_bound: Optional[int] = None,
     ground: Optional[Union[GroundProgram, ColumnarGroundProgram]] = None,
     engine: Optional[str] = None,
+    config: ConfigLike = None,
 ) -> Circuit:
     """Theorem 6.2's circuit for *facts* (default: all target facts).
 
@@ -88,12 +89,16 @@ def fringe_circuit(
     precomputed grounding of either form can be passed as *ground*.
     Input labels are EDB facts, so ``database.valuation(semiring)``
     evaluates the result.
+
+    ``engine=`` is the deprecated spelling of
+    ``config=ExecutionConfig(engine=...)``; it still works but warns.
     """
+    config = merge_legacy_knobs("fringe_circuit", config, engine=("engine", engine))
     if ground is None:
-        if _resolve_engine(engine) == "columnar":
+        if config.resolved_engine == "columnar":
             ground = columnar_grounding(program, database)
         else:
-            ground = relevant_grounding(program, database, engine=engine)
+            ground = relevant_grounding(program, database, config=config)
     if stages is None:
         stages = default_stage_count(ground, fringe_bound)
     if isinstance(ground, ColumnarGroundProgram):

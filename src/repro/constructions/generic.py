@@ -30,12 +30,12 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..circuits.circuit import Circuit, CircuitBuilder
+from ..config import ConfigLike, merge_legacy_knobs
 from ..datalog.ast import Fact, Program
 from ..datalog.database import Database
 from ..datalog.grounding import (
     ColumnarGroundProgram,
     GroundProgram,
-    _resolve_engine,
     columnar_grounding,
     relevant_grounding,
 )
@@ -50,6 +50,7 @@ def generic_circuit(
     stages: Optional[int] = None,
     ground: Optional[Union[GroundProgram, ColumnarGroundProgram]] = None,
     engine: Optional[str] = None,
+    config: ConfigLike = None,
 ) -> Circuit:
     """Build the Theorem 3.1 circuit for *facts* (default: all target
     facts) of *program* on *database*.
@@ -69,12 +70,16 @@ def generic_circuit(
 
     The circuit's input labels are the EDB :class:`Fact` objects, so
     ``database.valuation(semiring)`` is a ready-made assignment.
+
+    ``engine=`` is the deprecated spelling of
+    ``config=ExecutionConfig(engine=...)``; it still works but warns.
     """
+    config = merge_legacy_knobs("generic_circuit", config, engine=("engine", engine))
     if ground is None:
-        if _resolve_engine(engine) == "columnar":
+        if config.resolved_engine == "columnar":
             ground = columnar_grounding(program, database)
         else:
-            ground = relevant_grounding(program, database, engine=engine)
+            ground = relevant_grounding(program, database, config=config)
     if isinstance(ground, ColumnarGroundProgram):
         return _generic_circuit_columnar(program, ground, facts, stages)
     idb_facts: List[Fact] = sorted(ground.idb_facts, key=repr)

@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from ..config import ConfigLike, merge_legacy_knobs
 from ..semirings.base import Semiring
 from .ast import Fact, Program
 from .database import Database
@@ -135,6 +136,7 @@ def naive_evaluation(
     raise_on_divergence: bool = False,
     strategy: Optional[str] = None,
     grounding_engine: Optional[str] = None,
+    config: ConfigLike = None,
 ) -> EvaluationResult:
     """Fixpoint evaluation of *program* on *database* over *semiring*.
 
@@ -154,10 +156,21 @@ def naive_evaluation(
     :func:`~repro.datalog.grounding.relevant_grounding`); *ground*
     itself may be a tuple-space ``GroundProgram`` or an id-space
     :class:`~repro.datalog.grounding.ColumnarGroundProgram`.
+
+    ``strategy=`` and ``grounding_engine=`` are the deprecated
+    spellings of ``config=ExecutionConfig(strategy=..., engine=...)``
+    (the :mod:`repro.api` facade, DESIGN.md §10); they still work but
+    warn.
     """
     from .seminaive import FixpointEngine
 
-    return FixpointEngine(strategy, grounding_engine).evaluate(
+    config = merge_legacy_knobs(
+        "naive_evaluation",
+        config,
+        strategy=("strategy", strategy),
+        engine=("grounding_engine", grounding_engine),
+    )
+    return FixpointEngine(config=config).evaluate(
         program,
         database,
         semiring,
@@ -175,9 +188,15 @@ def evaluate_fact(
     fact: Fact,
     weights: Optional[Mapping[Fact, object]] = None,
     strategy: Optional[str] = None,
+    config: ConfigLike = None,
 ):
-    """Least-fixpoint value of one IDB *fact* (``0`` if underivable)."""
-    result = naive_evaluation(program, database, semiring, weights, strategy=strategy)
+    """Least-fixpoint value of one IDB *fact* (``0`` if underivable).
+
+    ``strategy=`` is the deprecated spelling of
+    ``config=ExecutionConfig(strategy=...)``; it still works but warns.
+    """
+    config = merge_legacy_knobs("evaluate_fact", config, strategy=("strategy", strategy))
+    result = naive_evaluation(program, database, semiring, weights, config=config)
     return result.value(fact)
 
 

@@ -78,6 +78,12 @@ from typing import (
 
 from array import array
 
+from ..config import (
+    DEFAULT_GROUNDING_ENGINE,
+    GROUNDING_ENGINES,
+    ConfigLike,
+    merge_legacy_knobs,
+)
 from .ast import Atom, Constant, DatalogError, Fact, Program, Rule, Variable
 from .database import Database
 from .store import SymbolTable
@@ -97,15 +103,9 @@ __all__ = [
     "derivable_facts",
 ]
 
-#: The join engines behind every grounding strategy (DESIGN.md §5, §8).
-GROUNDING_ENGINES = ("indexed", "naive", "columnar")
-
-#: Engine used when callers do not pick one explicitly.  The indexed
-#: engine computes the identical grounding with strictly fewer join
-#: probes than naive, so it is the default everywhere;
-#: ``engine="naive"`` is the A/B escape hatch and ``engine="columnar"``
-#: the interned array-backed backend of :mod:`repro.datalog.store`.
-DEFAULT_GROUNDING_ENGINE = "indexed"
+# The engine vocabulary and its default live in repro.config (the
+# shared knob module, DESIGN.md §10); the historical names are
+# re-exported here because this layer defined them first.
 
 
 def _resolve_engine(engine: Optional[str]) -> str:
@@ -1259,6 +1259,7 @@ def derivable_facts(
     database: Database,
     engine: Optional[str] = None,
     ground: Optional["ColumnarGroundProgram"] = None,
+    config: ConfigLike = None,
 ) -> Tuple[FrozenSet[Fact], int]:
     """Boolean fixpoint: ``(derivable IDB facts, iterations)``.
 
@@ -1285,7 +1286,8 @@ def derivable_facts(
                 "recompute the closure from the database"
             )
         return ground.idb_facts, ground.iterations
-    engine = _resolve_engine(engine)
+    config = merge_legacy_knobs("derivable_facts", config, engine=("engine", engine))
+    engine = _resolve_engine(config.engine)
     if engine == "naive":
         return _derivable_facts_naive(program, database)
     if engine == "columnar":
@@ -1340,7 +1342,10 @@ def _derivable_facts_naive(
 
 
 def relevant_grounding(
-    program: Program, database: Database, engine: Optional[str] = None
+    program: Program,
+    database: Database,
+    engine: Optional[str] = None,
+    config: ConfigLike = None,
 ) -> GroundProgram:
     """Ground rules whose body facts are all derivable (see module doc).
 
@@ -1357,8 +1362,13 @@ def relevant_grounding(
 
     All return the same set of ground rules (the equivalence is
     property-tested); only probe counts and rule order differ.
+
+    ``engine=`` is the deprecated spelling of
+    ``config=ExecutionConfig(engine=...)`` (the :mod:`repro.api`
+    facade, DESIGN.md §10); it still works but warns.
     """
-    engine = _resolve_engine(engine)
+    config = merge_legacy_knobs("relevant_grounding", config, engine=("engine", engine))
+    engine = _resolve_engine(config.engine)
     if engine == "naive":
         return _relevant_grounding_naive(program, database)
     if engine == "columnar":
@@ -1781,6 +1791,7 @@ def full_grounding(
     database: Database,
     max_instantiations: int = 2_000_000,
     engine: Optional[str] = None,
+    config: ConfigLike = None,
 ) -> GroundProgram:
     """All groundings over the active domain with EDB body atoms present.
 
@@ -1796,8 +1807,12 @@ def full_grounding(
     free variables over the domain, so their guard counts the
     instantiations that would actually be emitted -- a join-cost
     counting pass per rule, before any ground rule is materialized.
+
+    ``engine=`` is the deprecated spelling of
+    ``config=ExecutionConfig(engine=...)``; it still works but warns.
     """
-    engine = _resolve_engine(engine)
+    config = merge_legacy_knobs("full_grounding", config, engine=("engine", engine))
+    engine = _resolve_engine(config.engine)
     if engine == "naive":
         return _full_grounding_naive(program, database, max_instantiations)
     if engine == "columnar":

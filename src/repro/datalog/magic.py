@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Hashable, List, Optional, Union
 
+from ..config import ConfigLike, merge_legacy_knobs
 from .ast import Atom, Constant, DatalogError, Fact, Program, Rule
 from .database import Database
 from .grounding import (
@@ -103,12 +104,13 @@ def magic_grounding(
     database: Database,
     engine: Optional[str] = None,
     columnar: bool = False,
+    config: ConfigLike = None,
 ) -> Union[GroundProgram, ColumnarGroundProgram]:
     """Specialize *program* on *source* and ground the result.
 
     Equivalent to ``relevant_grounding(magic_specialize(program,
-    source), database, engine=engine)``; *engine* selects the join
-    engine (``"indexed"`` | ``"naive"`` | ``"columnar"``, default
+    source), database, config=config)``; ``config.engine`` selects the
+    join engine (``"indexed"`` | ``"naive"`` | ``"columnar"``, default
     indexed -- see
     :func:`~repro.datalog.grounding.relevant_grounding`).  The
     returned grounding has ``O(m)`` rules for a left-linear chain
@@ -116,17 +118,27 @@ def magic_grounding(
     specialization -- the separation
     ``benchmarks/bench_ablation_grounding.py`` measures.
 
-    With ``columnar=True`` the rewrite composes with
+    With ``config.strategy == "columnar"`` the rewrite composes with
     :func:`~repro.datalog.grounding.columnar_grounding` instead: the
     result is an id-space
     :class:`~repro.datalog.grounding.ColumnarGroundProgram` (same rule
     set -- ``rule_keys()`` matches the tuple form) ready for the
-    ``strategy="columnar"`` fixpoint, and *engine* is ignored.
+    ``strategy="columnar"`` fixpoint, and the join-engine knob is
+    ignored.  ``columnar=True`` is the deprecated spelling of exactly
+    that (``config=ExecutionConfig(strategy="columnar")``), and
+    ``engine=`` of ``config=ExecutionConfig(engine=...)``; both still
+    work but warn.
     """
+    config = merge_legacy_knobs(
+        "magic_grounding",
+        config,
+        engine=("engine", engine),
+        strategy=("columnar", "columnar" if columnar else None),
+    )
     specialized = magic_specialize(program, source)
-    if columnar:
+    if config.strategy == "columnar":
         return columnar_grounding(specialized, database)
-    return relevant_grounding(specialized, database, engine=engine)
+    return relevant_grounding(specialized, database, config=config)
 
 
 def specialized_fact(program: Program, source: Hashable, other: Hashable) -> Fact:

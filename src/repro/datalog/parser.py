@@ -2,9 +2,13 @@
 
 Grammar (one statement per rule, ``%`` or ``#`` line comments)::
 
-    rule  ::= atom ":-" atom ("," atom)* "."
+    rule  ::= atom ":-" atom (("," | "∧") atom)* "."
     atom  ::= IDENT "(" term ("," term)* ")"
     term  ::= VARIABLE | CONSTANT
+
+``∧`` is accepted as a body-atom separator so that ``repr(rule)`` --
+which prints conjunction as ``∧`` -- round-trips through the parser
+(the serving wire format sends programs as rule text).
 
 Identifiers starting with an uppercase letter or ``_`` are variables
 (``X``, ``Y``, ``Z1``); lowercase identifiers, integers and quoted
@@ -43,6 +47,7 @@ _TOKEN_SPEC = [
     ("LPAREN", r"\("),
     ("RPAREN", r"\)"),
     ("COMMA", r","),
+    ("AND", r"∧"),
     ("DOT", r"\."),
     ("STRING", r"\"[^\"]*\"|'[^']*'"),
     ("NUMBER", r"-?\d+"),
@@ -112,7 +117,7 @@ class _Parser:
         head = self.parse_atom()
         self._expect("IMPLIES")
         body = [self.parse_atom()]
-        while self._peek()[0] == "COMMA":
+        while self._peek()[0] in ("COMMA", "AND"):
             self._advance()
             body.append(self.parse_atom())
         self._expect("DOT")

@@ -45,6 +45,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
+from ..config import (
+    DEFAULT_FIXPOINT_STRATEGY,
+    FIXPOINT_STRATEGIES,
+    ConfigLike,
+    ExecutionConfig,
+    coerce_config,
+    merge_legacy_knobs,
+)
 from ..semirings.base import Semiring
 from .ast import Fact, Program
 from .database import Database
@@ -71,12 +79,13 @@ __all__ = [
 NAIVE = "naive"
 SEMINAIVE = "seminaive"
 COLUMNAR = "columnar"
-STRATEGIES = (NAIVE, SEMINAIVE, COLUMNAR)
-
-#: Strategy used when callers do not pick one explicitly.  Semi-naive
+#: The strategy vocabulary and its default live in repro.config (the
+#: shared knob module, DESIGN.md §10); the historical names are kept
+#: as re-exports because this layer defined them first.  Semi-naive
 #: computes the identical fixpoint with strictly fewer rule
 #: evaluations, so it is the default backend for the whole repo.
-DEFAULT_STRATEGY = SEMINAIVE
+STRATEGIES = FIXPOINT_STRATEGIES
+DEFAULT_STRATEGY = DEFAULT_FIXPOINT_STRATEGY
 
 
 @dataclass(frozen=True)
@@ -98,21 +107,41 @@ class FixpointEngine:
     over a grounding, grounding_engine picks how that grounding is
     joined together.
 
+    ``config`` is the :mod:`repro.api` facade's spelling of the same
+    two knobs: ``FixpointEngine(config=ExecutionConfig(engine=...,
+    strategy=...))`` is equivalent to passing them positionally, and
+    the engine normalizes either form into both attributes.  A
+    ``strategy``/``grounding_engine`` argument that contradicts a
+    non-``None`` config field raises :class:`ValueError`.
+
     The engine is stateless and cheap to construct; all per-run state
     (grounding, caches, deltas) lives inside :meth:`evaluate`.
     """
 
-    strategy: str = DEFAULT_STRATEGY
+    strategy: Optional[str] = None
     grounding_engine: Optional[str] = None
+    config: Optional[ExecutionConfig] = None
 
     def __post_init__(self) -> None:
-        if self.strategy is None:
-            object.__setattr__(self, "strategy", DEFAULT_STRATEGY)
-        if self.strategy not in STRATEGIES:
+        cfg = coerce_config(self.config)
+        for field, knob in (("strategy", self.strategy), ("engine", self.grounding_engine)):
+            configured = getattr(cfg, field)
+            if knob is not None:
+                if configured is not None and configured != knob:
+                    raise ValueError(
+                        f"FixpointEngine: {field}={knob!r} conflicts with config.{field}={configured!r}"
+                    )
+                cfg = cfg.evolve(**{field: knob})
+        if cfg.strategy is None:
+            cfg = cfg.evolve(strategy=DEFAULT_STRATEGY)
+        if cfg.strategy not in STRATEGIES:
             raise ValueError(
-                f"unknown fixpoint strategy {self.strategy!r}; expected one of {STRATEGIES}"
+                f"unknown fixpoint strategy {cfg.strategy!r}; expected one of {STRATEGIES}"
             )
-        _resolve_engine(self.grounding_engine)  # validate eagerly
+        _resolve_engine(cfg.engine)  # validate eagerly
+        object.__setattr__(self, "strategy", cfg.strategy)
+        object.__setattr__(self, "grounding_engine", cfg.engine)
+        object.__setattr__(self, "config", cfg)
 
     def evaluate(
         self,
@@ -149,7 +178,7 @@ class FixpointEngine:
         if isinstance(ground, ColumnarGroundProgram):
             ground = ground.to_ground_program()
         if ground is None:
-            ground = relevant_grounding(program, database, engine=self.grounding_engine)
+            ground = relevant_grounding(program, database, config=self.config)
         edb_value = dict(database.valuation(semiring))
         if weights:
             edb_value.update(weights)
@@ -199,7 +228,7 @@ class FixpointEngine:
                 cground = columnar_grounding(program, database)
             else:
                 cground = ColumnarGroundProgram.from_ground_program(
-                    relevant_grounding(program, database, engine=engine)
+                    relevant_grounding(program, database, config=self.config)
                 )
         elif isinstance(ground, ColumnarGroundProgram):
             cground = ground
@@ -251,7 +280,7 @@ class FixpointEngine:
         The configured ``grounding_engine`` picks the join engine;
         the round count is engine-independent.
         """
-        _, iterations = derivable_facts(program, database, engine=self.grounding_engine)
+        _, iterations = derivable_facts(program, database, config=self.config)
         return iterations
 
 
@@ -264,10 +293,23 @@ def seminaive_evaluation(
     max_iterations: Optional[int] = None,
     raise_on_divergence: bool = False,
     grounding_engine: Optional[str] = None,
+    config: ConfigLike = None,
 ) -> EvaluationResult:
     """Explicitly semi-naive evaluation; signature mirrors
-    :func:`repro.datalog.evaluation.naive_evaluation`."""
-    return FixpointEngine(SEMINAIVE, grounding_engine).evaluate(
+    :func:`repro.datalog.evaluation.naive_evaluation`.
+
+    ``grounding_engine=`` is the deprecated spelling of
+    ``config=ExecutionConfig(engine=...)``; it still works but warns.
+    """
+    config = merge_legacy_knobs(
+        "seminaive_evaluation", config, engine=("grounding_engine", grounding_engine)
+    )
+    if config.strategy is not None and config.strategy != SEMINAIVE:
+        raise ValueError(
+            f"seminaive_evaluation: config.strategy={config.strategy!r} contradicts the "
+            "function; use repro.api.solve for a configurable strategy"
+        )
+    return FixpointEngine(config=config.evolve(strategy=SEMINAIVE)).evaluate(
         program,
         database,
         semiring,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Mapping, Optional, Tuple
 
+from ..config import ConfigLike, merge_legacy_knobs
 from ..datalog.ast import Fact, Program
 from ..datalog.database import Database
 from ..datalog.evaluation import EvaluationResult, naive_evaluation
@@ -42,6 +43,7 @@ def cfl_reachability(
     weights: Optional[Mapping[Fact, object]] = None,
     max_iterations: Optional[int] = None,
     strategy: Optional[str] = None,
+    config: ConfigLike = None,
 ) -> Dict[Tuple[Vertex, Vertex], object]:
     """Solve weighted CFL-reachability.
 
@@ -58,6 +60,7 @@ def cfl_reachability(
     """
     if () in {p.rhs for p in grammar.productions} and grammar.start in grammar.nullable_nonterminals():
         raise ValueError("ε ∈ L(grammar); CFL-reachability over chain rules excludes ε")
+    config = merge_legacy_knobs("cfl_reachability", config, strategy=("strategy", strategy))
     database = edges if isinstance(edges, Database) else Database.from_labeled_edges(edges)
     program = chain_program_for(grammar)
     result: EvaluationResult = naive_evaluation(
@@ -66,7 +69,7 @@ def cfl_reachability(
         semiring,
         weights=weights,
         max_iterations=max_iterations,
-        strategy=strategy,
+        config=config,
     )
     output: Dict[Tuple[Vertex, Vertex], object] = {}
     for fact, value in result.values.items():

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Mapping, Optional, Tuple
 
+from ..config import ConfigLike, merge_legacy_knobs
 from ..datalog.ast import Fact
 from ..datalog.database import Database
 from ..datalog.evaluation import naive_evaluation
@@ -89,6 +90,7 @@ def solve_rpq(
     weights: Optional[Mapping[Fact, object]] = None,
     max_iterations: Optional[int] = None,
     strategy: Optional[str] = None,
+    config: ConfigLike = None,
 ) -> Dict[Tuple[Vertex, Vertex], object]:
     """Evaluate the RPQ over *semiring* via TC on the product graph.
 
@@ -98,6 +100,7 @@ def solve_rpq(
     to nonzero entries.  Words of length 0 (ε ∈ L) are excluded, as in
     the chain-Datalog encoding.
     """
+    config = merge_legacy_knobs("solve_rpq", config, strategy=("strategy", strategy))
     product = product_graph(edges, dfa)
     weights = weights or {}
     product_weights = {
@@ -111,7 +114,7 @@ def solve_rpq(
         semiring,
         weights=product_weights,
         max_iterations=max_iterations,
-        strategy=strategy,
+        config=config,
     )
     output: Dict[Tuple[Vertex, Vertex], object] = {}
     for fact, value in result.values.items():

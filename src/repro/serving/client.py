@@ -1,0 +1,218 @@
+"""CircuitClient: a stdlib asyncio client for :class:`CircuitServer`.
+
+One client holds one keep-alive TCP connection; concurrent coroutines
+sharing a client are serialized per request by an internal lock (HTTP
+1.1 without pipelining), so load generators that want *server-side*
+concurrency -- the thing the lane batcher coalesces -- should open one
+client per worker coroutine, as ``benchmarks/bench_serving.py`` does.
+
+Facts travel in either wire form; this client sends whatever it is
+given, so callers may pass ``Fact`` objects (serialized via their
+surface ``repr``), strings, or ``[pred, args]`` pairs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from ..datalog.ast import Fact
+
+__all__ = ["CircuitClient", "ServerError"]
+
+
+class ServerError(Exception):
+    """A non-2xx response from the server."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+def _wire_fact(fact: object) -> object:
+    """Client-side fact encoding: ``Fact`` → surface string, else as-is."""
+    if isinstance(fact, Fact):
+        return repr(fact)
+    return fact
+
+
+def _wire_weights(weights: Optional[Mapping]) -> Optional[Dict[str, object]]:
+    if weights is None:
+        return None
+    return {str(_wire_fact(fact)): value for fact, value in weights.items()}
+
+
+class CircuitClient:
+    """A persistent-connection JSON/HTTP client for the serving API."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+
+    # -- connection lifecycle ------------------------------------------
+
+    async def connect(self) -> "CircuitClient":
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "CircuitClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- raw request ---------------------------------------------------
+
+    async def request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        """One HTTP round-trip; returns ``(status, parsed payload)``."""
+        await self.connect()
+        data = b"" if body is None else json.dumps(body).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: keep-alive\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        async with self._lock:
+            assert self._writer is not None and self._reader is not None
+            self._writer.write(head + data)
+            await self._writer.drain()
+            status_line = await self._reader.readline()
+            if not status_line:
+                raise ConnectionError("server closed the connection")
+            status = int(status_line.split()[1])
+            headers: Dict[str, str] = {}
+            while True:
+                line = await self._reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0"))
+            raw = await self._reader.readexactly(length) if length else b"{}"
+        return status, json.loads(raw)
+
+    async def _call(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        status, payload = await self.request(method, path, body)
+        if status >= 400:
+            raise ServerError(status, payload.get("error", "unknown error"))
+        return payload
+
+    # -- typed API -----------------------------------------------------
+
+    async def healthz(self) -> dict:
+        return await self._call("GET", "/healthz")
+
+    async def stats(self) -> dict:
+        return await self._call("GET", "/stats")
+
+    async def register(
+        self,
+        program: object,
+        facts: Iterable,
+        output: object,
+        *,
+        target: Optional[str] = None,
+        weights: Optional[Mapping] = None,
+        construction: Optional[str] = None,
+        engine: Optional[str] = None,
+        strategy: Optional[str] = None,
+    ) -> dict:
+        """Register a circuit; returns the registration report (with ``key``)."""
+        body: Dict[str, Any] = {
+            "program": program if isinstance(program, (str, list)) else str(program),
+            "facts": [_wire_fact(f) for f in facts],
+            "output": _wire_fact(output),
+        }
+        if target is not None:
+            body["target"] = target
+        if weights is not None:
+            body["weights"] = _wire_weights(weights)
+        if construction is not None:
+            body["construction"] = construction
+        if engine is not None:
+            body["engine"] = engine
+        if strategy is not None:
+            body["strategy"] = strategy
+        return await self._call("POST", "/circuits", body)
+
+    async def boolean(self, key: str, true_facts: Iterable) -> bool:
+        """One coalesced Boolean point query."""
+        body = {"true_facts": [_wire_fact(f) for f in true_facts]}
+        payload = await self._call("POST", f"/circuits/{key}/boolean", body)
+        return payload["value"]
+
+    async def boolean_batch(self, key: str, batches: Iterable[Iterable]) -> list:
+        """A pre-assembled batch, evaluated directly (no coalescing)."""
+        body = {"batches": [[_wire_fact(f) for f in batch] for batch in batches]}
+        payload = await self._call("POST", f"/circuits/{key}/boolean", body)
+        return payload["values"]
+
+    async def evaluate(self, key: str, semiring: str, weights: Optional[Mapping] = None):
+        """One numeric point valuation (batched server-side)."""
+        body: Dict[str, Any] = {"semiring": semiring}
+        if weights is not None:
+            body["weights"] = _wire_weights(weights)
+        payload = await self._call("POST", f"/circuits/{key}/evaluate", body)
+        return payload["value"]
+
+    async def evaluate_batch(self, key: str, semiring: str, assignments: Iterable[Mapping]) -> list:
+        body = {
+            "semiring": semiring,
+            "assignments": [_wire_weights(a) for a in assignments],
+        }
+        payload = await self._call("POST", f"/circuits/{key}/evaluate", body)
+        return payload["values"]
+
+    async def update(self, key: str, semiring: str, delta: Mapping) -> dict:
+        """Apply a sparse weight delta to the incremental session."""
+        body = {"semiring": semiring, "delta": _wire_weights(delta)}
+        return await self._call("POST", f"/circuits/{key}/update", body)
+
+    async def solve(
+        self,
+        program: object,
+        facts: Iterable,
+        semiring: str = "boolean",
+        *,
+        target: Optional[str] = None,
+        weights: Optional[Mapping] = None,
+        engine: Optional[str] = None,
+        strategy: Optional[str] = None,
+        max_iterations: Optional[int] = None,
+    ) -> dict:
+        body: Dict[str, Any] = {
+            "program": program if isinstance(program, (str, list)) else str(program),
+            "facts": [_wire_fact(f) for f in facts],
+            "semiring": semiring,
+        }
+        if target is not None:
+            body["target"] = target
+        if weights is not None:
+            body["weights"] = _wire_weights(weights)
+        if engine is not None:
+            body["engine"] = engine
+        if strategy is not None:
+            body["strategy"] = strategy
+        if max_iterations is not None:
+            body["max_iterations"] = max_iterations
+        return await self._call("POST", "/solve", body)

@@ -1,0 +1,509 @@
+"""CircuitServer: compiled provenance circuits behind asyncio HTTP.
+
+The server is the paper's evaluation pipeline turned into a long-lived
+process (DESIGN.md §10).  A client registers a (program, database,
+output fact) triple once; the server grounds it, builds the circuit
+through the configured construction, compiles it, and caches the whole
+:class:`repro.api.Session` under a key derived from
+``(program fingerprint, database fingerprint, construction)``.  Every
+subsequent query is pure circuit evaluation:
+
+* ``POST /circuits/<key>/boolean`` -- Boolean point queries, coalesced
+  by a :class:`~repro.serving.batcher.LaneBatcher` into the 64-wide
+  bitset lanes of ``evaluate_boolean_batch``;
+* ``POST /circuits/<key>/evaluate`` -- numeric valuations, batched
+  through ``evaluate_batch`` (any registered semiring);
+* ``POST /circuits/<key>/update`` -- sparse weight deltas served by a
+  per-(circuit, semiring) ``IncrementalEvaluator`` session that pays
+  only the dirty cone;
+* ``POST /solve`` -- one-shot fixpoint evaluation (no circuit cache),
+  with divergence reported as HTTP 422.
+
+The HTTP/1.1 framing is hand-rolled over ``asyncio`` streams -- no
+third-party web stack -- and supports keep-alive, so a client holds
+one TCP connection for its whole query stream.
+
+Wire format: facts are either strings in surface syntax (``"E(0,1)"``,
+parsed by the Datalog parser, numerals become ints) or
+``[predicate, [arg, ...]]`` pairs taken literally.  Responses are JSON
+objects; errors are ``{"error": ...}`` with a 4xx/5xx status.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..api import Session
+from ..config import ExecutionConfig
+from .batcher import LaneBatcher
+from ..datalog.ast import DatalogError, Fact
+from ..datalog.database import Database
+from ..datalog.evaluation import DivergenceError
+from ..datalog.parser import parse_atom, parse_program
+from ..semirings import (
+    ARCTIC,
+    BOOLEAN,
+    COUNTING,
+    COUNTING_CAP,
+    FUZZY,
+    LUKASIEWICZ,
+    TROPICAL,
+    TROPICAL_INT,
+    VITERBI,
+)
+
+__all__ = ["CircuitServer", "ServingError", "SEMIRINGS"]
+
+#: Wire name → semiring singleton.  Only semirings whose values survive
+#: a JSON round-trip are exposed over HTTP.
+SEMIRINGS = {
+    "boolean": BOOLEAN,
+    "counting": COUNTING,
+    "counting_cap": COUNTING_CAP,
+    "tropical": TROPICAL,
+    "tropical_int": TROPICAL_INT,
+    "viterbi": VITERBI,
+    "fuzzy": FUZZY,
+    "lukasiewicz": LUKASIEWICZ,
+    "arctic": ARCTIC,
+}
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+}
+
+
+class ServingError(Exception):
+    """A request error with an HTTP status (raised by handlers)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def fact_from_wire(obj: object) -> Fact:
+    """Decode one fact from its wire form (string or [pred, args])."""
+    if isinstance(obj, str):
+        try:
+            return parse_atom(obj).to_fact()
+        except DatalogError as exc:
+            raise ServingError(400, f"bad fact {obj!r}: {exc}") from exc
+    if isinstance(obj, (list, tuple)) and len(obj) == 2 and isinstance(obj[0], str):
+        predicate, args = obj
+        if not isinstance(args, (list, tuple)):
+            raise ServingError(400, f"bad fact {obj!r}: args must be a list")
+        return Fact(predicate, tuple(args))
+    raise ServingError(400, f"bad fact {obj!r}: expected 'R(a,b)' or ['R', [a, b]]")
+
+
+def _resolve_semiring(body: Mapping[str, Any]):
+    name = body.get("semiring", "boolean")
+    semiring = SEMIRINGS.get(name)
+    if semiring is None:
+        raise ServingError(400, f"unknown semiring {name!r}; one of {sorted(SEMIRINGS)}")
+    return name, semiring
+
+
+def _parse_weights(raw: object, where: str) -> Dict[Fact, object]:
+    if raw is None:
+        return {}
+    if not isinstance(raw, Mapping):
+        raise ServingError(400, f"{where} must be an object of fact → value")
+    return {fact_from_wire(label): value for label, value in raw.items()}
+
+
+class _CircuitEntry:
+    """One cached compiled circuit plus its serving machinery."""
+
+    __slots__ = (
+        "key",
+        "session",
+        "output",
+        "choice",
+        "compiled",
+        "boolean_batcher",
+        "numeric_batchers",
+        "incremental",
+        "base_valuations",
+        "queries",
+    )
+
+    def __init__(self, key: str, session: Session, output: Fact, lane_width: int, max_delay: float):
+        self.key = key
+        self.session = session
+        self.output = output
+        self.choice = session.circuit(output)
+        self.compiled = self.choice.compiled()
+        self.boolean_batcher = LaneBatcher(self._boolean_flush, lane_width=lane_width, max_delay=max_delay)
+        # name → LaneBatcher for numeric point queries (built lazily).
+        self.numeric_batchers: Dict[str, LaneBatcher] = {}
+        # name → IncrementalEvaluator update session (built lazily).
+        self.incremental: Dict[str, object] = {}
+        # name → dense base valuation reused to complete sparse queries.
+        self.base_valuations: Dict[str, Dict[Fact, object]] = {}
+        self.queries = 0
+
+    def _boolean_flush(self, batches: List) -> List[bool]:
+        return self.compiled.evaluate_boolean_batch(batches)
+
+    def base_valuation(self, name: str, semiring) -> Dict[Fact, object]:
+        base = self.base_valuations.get(name)
+        if base is None:
+            base = self.session.database.valuation(semiring)
+            self.base_valuations[name] = base
+        return base
+
+    def numeric_batcher(self, name: str, semiring, lane_width: int, max_delay: float) -> "LaneBatcher":
+        batcher = self.numeric_batchers.get(name)
+        if batcher is None:
+            def flush(assignments: List) -> List:
+                return self.compiled.evaluate_batch(semiring, assignments)
+
+            batcher = LaneBatcher(flush, lane_width=lane_width, max_delay=max_delay)
+            self.numeric_batchers[name] = batcher
+        return batcher
+
+    def update_session(self, name: str, semiring):
+        session = self.incremental.get(name)
+        if session is None:
+            session = self.session.serve(self.output, semiring)
+            self.incremental[name] = session
+        return session
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "construction": self.choice.construction,
+            "size": self.compiled.size,
+            "queries": self.queries,
+            "boolean_lanes": self.boolean_batcher.stats.snapshot(),
+            "numeric_lanes": {
+                name: batcher.stats.snapshot()
+                for name, batcher in sorted(self.numeric_batchers.items())
+            },
+            "update_sessions": sorted(self.incremental),
+        }
+
+
+class CircuitServer:
+    """Asyncio HTTP server over an LRU cache of compiled circuits.
+
+    ``max_circuits`` bounds the cache; registration of a key already
+    present is a cache hit (the expensive ground/construct/compile
+    pipeline is skipped), and the least-recently-used entry is evicted
+    past the bound.  ``lane_width``/``max_delay`` set the micro-batching
+    policy shared by every entry's Boolean and numeric batchers.
+
+    Usage::
+
+        server = CircuitServer()
+        host, port = await server.start()
+        ...
+        await server.close()
+
+    or ``async with CircuitServer() as (host, port): ...``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_circuits: int = 32,
+        lane_width: int = 64,
+        max_delay: float = 0.002,
+    ):
+        if max_circuits < 1:
+            raise ValueError("max_circuits must be positive")
+        self.host = host
+        self.port = port
+        self.max_circuits = max_circuits
+        self.lane_width = lane_width
+        self.max_delay = max_delay
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._circuits: "OrderedDict[str, _CircuitEntry]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.evictions = 0
+        self.requests = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(self._handle_connection, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def close(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        for entry in self._circuits.values():
+            entry.boolean_batcher.flush_now()
+            for batcher in entry.numeric_batchers.values():
+                batcher.flush_now()
+
+    async def __aenter__(self) -> Tuple[str, int]:
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- HTTP plumbing -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, body, keep_alive = request
+                self.requests += 1
+                status, payload = await self._dispatch(method, path, body)
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            # No await after close(): the handler task may be getting
+            # cancelled by server shutdown, and awaiting wait_closed()
+            # here would surface that as loop-callback noise.
+            writer.close()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Optional[dict], bool]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, path, _version = request_line.decode("latin-1").split()
+        except ValueError:
+            raise ServingError(400, "malformed request line")
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+        body: Optional[dict] = None
+        length = int(headers.get("content-length", "0"))
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                body = {"__malformed__": str(exc)}
+        return method.upper(), path, body, keep_alive
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict, keep_alive: bool
+    ) -> None:
+        data = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + data)
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: Optional[dict]) -> Tuple[int, dict]:
+        if isinstance(body, dict) and "__malformed__" in body:
+            return 400, {"error": f"request body is not valid JSON: {body['__malformed__']}"}
+        try:
+            parts = [p for p in path.split("/") if p]
+            if method == "GET" and parts == ["healthz"]:
+                return 200, {"status": "ok"}
+            if method == "GET" and parts == ["stats"]:
+                return 200, self._stats()
+            if method == "POST" and parts == ["solve"]:
+                return 200, self._solve(self._require_body(body))
+            if method == "POST" and parts == ["circuits"]:
+                return 200, self._register(self._require_body(body))
+            if method == "POST" and len(parts) == 3 and parts[0] == "circuits":
+                entry = self._lookup(parts[1])
+                action = parts[2]
+                if action == "boolean":
+                    return 200, await self._boolean(entry, self._require_body(body))
+                if action == "evaluate":
+                    return 200, await self._evaluate(entry, self._require_body(body))
+                if action == "update":
+                    return 200, self._update(entry, self._require_body(body))
+            return 404, {"error": f"no route for {method} {path}"}
+        except ServingError as exc:
+            return exc.status, {"error": str(exc)}
+        except DivergenceError as exc:
+            return 422, {"error": f"fixpoint diverged: {exc}"}
+        except (DatalogError, KeyError, TypeError, ValueError) as exc:
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+        except Exception as exc:  # pragma: no cover - defensive
+            return 500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
+
+    @staticmethod
+    def _require_body(body: Optional[dict]) -> dict:
+        if not isinstance(body, dict):
+            raise ServingError(400, "expected a JSON object request body")
+        return body
+
+    def _lookup(self, key: str) -> _CircuitEntry:
+        entry = self._circuits.get(key)
+        if entry is None:
+            raise ServingError(404, f"unknown circuit key {key!r}; register it via POST /circuits")
+        self._circuits.move_to_end(key)
+        entry.queries += 1
+        return entry
+
+    # -- handlers ------------------------------------------------------
+
+    def _build_problem(self, body: Mapping[str, Any]) -> Tuple[Session, ExecutionConfig]:
+        program_field = body.get("program")
+        if not program_field:
+            raise ServingError(400, "missing 'program' (rule text or list of rules)")
+        text = program_field if isinstance(program_field, str) else "\n".join(program_field)
+        program = parse_program(text, target=body.get("target"))
+        database = Database()
+        for wire_fact in body.get("facts", ()):
+            database.add_fact(fact_from_wire(wire_fact))
+        for fact, weight in _parse_weights(body.get("weights"), "'weights'").items():
+            database.set_weight(fact, weight)
+        config = ExecutionConfig(
+            engine=body.get("engine"),
+            strategy=body.get("strategy"),
+            construction=body.get("construction"),
+        )
+        return Session(program, database, config), config
+
+    def _register(self, body: Mapping[str, Any]) -> dict:
+        session, config = self._build_problem(body)
+        if "output" not in body:
+            raise ServingError(400, "missing 'output' (the fact the circuit computes)")
+        output = fact_from_wire(body["output"])
+        program_fp, db_fp, construction = session.fingerprint
+        digest = hashlib.sha256(
+            "\x00".join((program_fp, db_fp, construction, repr(output), str(config.key()))).encode()
+        )
+        key = digest.hexdigest()[:16]
+        entry = self._circuits.get(key)
+        cached = entry is not None
+        if cached:
+            self.cache_hits += 1
+            self._circuits.move_to_end(key)
+        else:
+            self.cache_misses += 1
+            entry = _CircuitEntry(key, session, output, self.lane_width, self.max_delay)
+            self._circuits[key] = entry
+            while len(self._circuits) > self.max_circuits:
+                self._circuits.popitem(last=False)
+                self.evictions += 1
+        return {
+            "key": key,
+            "cached": cached,
+            "construction": entry.choice.construction,
+            "theorem": entry.choice.theorem,
+            "size": entry.compiled.size,
+            "program_fingerprint": program_fp,
+            "database_fingerprint": db_fp,
+        }
+
+    async def _boolean(self, entry: _CircuitEntry, body: Mapping[str, Any]) -> dict:
+        if "batches" in body:
+            batches = [frozenset(fact_from_wire(f) for f in batch) for batch in body["batches"]]
+            values = entry.compiled.evaluate_boolean_batch(batches)
+            return {"values": values}
+        if "true_facts" not in body:
+            raise ServingError(400, "expected 'true_facts' (point query) or 'batches'")
+        true_facts = frozenset(fact_from_wire(f) for f in body["true_facts"])
+        value = await entry.boolean_batcher.submit(true_facts)
+        return {"value": value}
+
+    async def _evaluate(self, entry: _CircuitEntry, body: Mapping[str, Any]) -> dict:
+        name, semiring = _resolve_semiring(body)
+        base = entry.base_valuation(name, semiring)
+        if "assignments" in body:
+            assignments = []
+            for raw in body["assignments"]:
+                assignment = dict(base)
+                assignment.update(_parse_weights(raw, "each assignment"))
+                assignments.append(assignment)
+            values = entry.compiled.evaluate_batch(semiring, assignments)
+            return {"values": values}
+        assignment = dict(base)
+        assignment.update(_parse_weights(body.get("weights"), "'weights'"))
+        batcher = entry.numeric_batcher(name, semiring, self.lane_width, self.max_delay)
+        value = await batcher.submit(assignment)
+        return {"value": value}
+
+    def _update(self, entry: _CircuitEntry, body: Mapping[str, Any]) -> dict:
+        name, semiring = _resolve_semiring(body)
+        delta = _parse_weights(body.get("delta"), "'delta'")
+        if not delta:
+            raise ServingError(400, "missing 'delta' (fact → new value)")
+        session = entry.update_session(name, semiring)
+        try:
+            outputs = session.update(delta)
+        except KeyError as exc:
+            raise ServingError(400, f"delta touches a fact with no input gate: {exc}") from exc
+        return {"outputs": outputs, "cone_size": session.last_cone_size}
+
+    def _solve(self, body: Mapping[str, Any]) -> dict:
+        session, _config = self._build_problem(body)
+        name, semiring = _resolve_semiring(body)
+        weights = _parse_weights(body.get("weights"), "'weights'") or None
+        result = session.solve(
+            semiring,
+            weights=weights,
+            max_iterations=body.get("max_iterations"),
+            raise_on_divergence=True,
+        )
+        values = {
+            repr(fact): value
+            for fact, value in result.values.items()
+            if not semiring.is_zero(value)
+        }
+        return {"semiring": name, "iterations": result.iterations, "values": values}
+
+    # -- stats ---------------------------------------------------------
+
+    def _stats(self) -> dict:
+        per_circuit = {key: entry.stats() for key, entry in self._circuits.items()}
+        lane_batches = sum(e.boolean_batcher.stats.batches for e in self._circuits.values())
+        lane_items = sum(e.boolean_batcher.stats.items for e in self._circuits.values())
+        fill = lane_items / (lane_batches * self.lane_width) if lane_batches else 0.0
+        return {
+            "circuits": len(self._circuits),
+            "max_circuits": self.max_circuits,
+            "requests": self.requests,
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "evictions": self.evictions,
+            },
+            "boolean_lanes": {
+                "lane_width": self.lane_width,
+                "batches": lane_batches,
+                "items": lane_items,
+                "fill_ratio": round(fill, 4),
+            },
+            "per_circuit": per_circuit,
+        }

@@ -1,0 +1,111 @@
+"""Incremental serving sessions on construction choices.
+
+``ConstructionChoice.serve`` (and ``Session.serve`` above it) hands
+out :class:`IncrementalEvaluator` sessions over one shared compiled
+circuit.  This suite pins the serving contract the CircuitServer
+relies on: sessions stay consistent across long interleaved delta
+streams, independent sessions on the same compiled circuit do not
+bleed state into each other, and every update pays a dirty cone, not
+a full re-evaluation, while agreeing exactly with from-scratch
+evaluation at the same assignment.
+"""
+
+import random
+
+from repro import api
+from repro.config import ExecutionConfig
+from repro.constructions import provenance_circuit
+from repro.datalog import Database, Fact, transitive_closure
+from repro.semirings import BOOLEAN, COUNTING, TROPICAL
+
+
+def line_db(n):
+    return Database.from_edges([(i, i + 1) for i in range(n)] + [(0, n)])
+
+
+def test_choice_serve_sessions_share_one_compiled_circuit():
+    db = line_db(6)
+    choice = provenance_circuit(transitive_closure(), db, Fact("T", (0, 6)))
+    compiled = choice.compiled()
+    assert choice.compiled() is compiled  # compile once, serve many
+    a = choice.serve(TROPICAL, {fact: 1.0 for fact in db.facts()})
+    b = choice.serve(TROPICAL, {fact: 2.0 for fact in db.facts()})
+    assert a.compiled is b.compiled is compiled
+
+
+def test_interleaved_deltas_do_not_bleed_between_sessions():
+    db = line_db(5)
+    choice = provenance_circuit(transitive_closure(), db, Fact("T", (0, 5)))
+    ones = {fact: 1.0 for fact in db.facts()}
+    shortcut = Fact("E", (0, 5))
+    a = choice.serve(TROPICAL, ones)
+    b = choice.serve(TROPICAL, ones)
+    # Interleave: session a cheapens the shortcut, session b removes it.
+    assert a.update({shortcut: 0.25}) == [0.25]
+    assert b.update({shortcut: 50.0}) == [5.0]  # falls back to the 5-hop path
+    assert a.update({Fact("E", (0, 1)): 0.0}) == [0.25]  # a still has its shortcut
+    assert b.update({Fact("E", (4, 5)): 0.5}) == [4.5]
+    assert a.update({shortcut: 100.0}) == [4.0]  # a's line path: 0 + 4×1
+
+
+def test_long_interleaved_stream_matches_from_scratch_evaluation():
+    rng = random.Random(2025_06)
+    db = line_db(8)
+    choice = provenance_circuit(transitive_closure(), db, Fact("T", (0, 8)))
+    facts = sorted(db.facts(), key=repr)
+    assignments = [
+        {fact: 1.0 for fact in facts},
+        {fact: float(i + 1) for i, fact in enumerate(facts)},
+    ]
+    sessions = [choice.serve(TROPICAL, dict(assignment)) for assignment in assignments]
+    compiled = choice.compiled()
+    for _ in range(60):
+        which = rng.randrange(2)
+        fact = rng.choice(facts)
+        value = float(rng.randrange(0, 12))
+        assignments[which][fact] = value
+        served = sessions[which].update({fact: value})
+        direct = compiled.evaluate(TROPICAL, assignments[which])
+        assert served == [direct]
+        assert 0 <= sessions[which].last_cone_size <= compiled.size
+
+
+def test_updates_pay_the_cone_not_the_circuit():
+    db = line_db(40)
+    choice = provenance_circuit(transitive_closure(), db, Fact("T", (0, 40)))
+    session = choice.serve(COUNTING, {fact: 1 for fact in db.facts()})
+    # The shortcut edge feeds few gates: its cone must be a small
+    # fraction of the circuit.
+    session.update({Fact("E", (0, 40)): 0})
+    assert 0 < session.last_cone_size < choice.compiled().size / 2
+    # A no-op delta (same value again) dirties nothing downstream.
+    session.update({Fact("E", (0, 40)): 0})
+    assert session.last_cone_size <= 1
+
+
+def test_api_session_serve_seeds_from_stored_weights():
+    db = line_db(4)
+    for fact in db.facts():
+        db.set_weight(fact, 1.0)
+    db.set_weight(Fact("E", (0, 4)), 9.0)
+    session = api.Session(transitive_closure(), db)
+    serving = session.serve(Fact("T", (0, 4)), TROPICAL)
+    assert serving.output_values() == [4.0]  # line beats the weighted shortcut
+    assert serving.update({Fact("E", (0, 4)): 0.5}) == [0.5]
+    # The underlying database is untouched: a fresh serving session
+    # re-seeds from the stored weights.
+    fresh = session.serve(Fact("T", (0, 4)), TROPICAL)
+    assert fresh.output_values() == [4.0]
+
+
+def test_api_session_serve_respects_pinned_constructions():
+    db = line_db(5)
+    truth = frozenset(db.facts())
+    fact = Fact("T", (0, 5))
+    for construction in ("auto", "generic", "fringe"):
+        session = api.Session(
+            transitive_closure(), db, ExecutionConfig(construction=construction)
+        )
+        serving = session.serve(fact, BOOLEAN, {f: True for f in truth})
+        assert serving.output_values() == [True]
+        assert serving.update({Fact("E", (0, 5)): False}) == [True]  # line path remains

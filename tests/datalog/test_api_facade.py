@@ -1,0 +1,219 @@
+"""The unified ``repro.api`` facade and its deprecation shims.
+
+PR 6's API redesign routes every execution knob through one frozen
+:class:`repro.config.ExecutionConfig`.  This suite pins the contract:
+
+* ``repro.api.solve`` agrees with the legacy spellings across the
+  full engine × strategy matrix;
+* every legacy kwarg still works but emits ``DeprecationWarning``;
+* a legacy kwarg that contradicts an explicit config is a
+  ``ValueError``, never a silent override;
+* :class:`repro.api.Session` caches grounding and circuits, and its
+  fingerprints track content, not object identity.
+"""
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.config import (
+    FIXPOINT_STRATEGIES,
+    GROUNDING_ENGINES,
+    DEFAULT_CONFIG,
+    ExecutionConfig,
+    coerce_config,
+)
+from repro.constructions import generic_circuit, provenance_circuit
+from repro.datalog import (
+    Database,
+    Fact,
+    FixpointEngine,
+    magic_grounding,
+    naive_evaluation,
+    relevant_grounding,
+    seminaive_evaluation,
+    transitive_closure,
+)
+from repro.grammars import CFG, cfl_reachability
+from repro.semirings import BOOLEAN, COUNTING, TROPICAL
+
+
+@pytest.fixture
+def diamond():
+    db = Database.from_edges([(0, 1), (1, 3), (0, 2), (2, 3), (3, 4)])
+    return transitive_closure(), db
+
+
+# -- ExecutionConfig -------------------------------------------------------
+
+
+def test_config_validates_vocabularies():
+    ExecutionConfig(engine="columnar", strategy="naive", construction="fringe")
+    with pytest.raises(ValueError):
+        ExecutionConfig(engine="btree")
+    with pytest.raises(ValueError):
+        ExecutionConfig(strategy="gauss-seidel")
+    with pytest.raises(ValueError):
+        ExecutionConfig(construction="magic")
+
+
+def test_config_is_frozen_and_evolvable():
+    config = ExecutionConfig(engine="indexed")
+    with pytest.raises(Exception):
+        config.engine = "naive"
+    evolved = config.evolve(strategy="columnar")
+    assert evolved.engine == "indexed"
+    assert evolved.strategy == "columnar"
+    assert config.strategy is None  # the original is untouched
+
+
+def test_config_resolution_and_coercion():
+    assert DEFAULT_CONFIG.resolved_engine == "indexed"
+    assert DEFAULT_CONFIG.resolved_strategy == "seminaive"
+    assert DEFAULT_CONFIG.resolved_construction == "auto"
+    from_mapping = coerce_config({"engine": "naive", "strategy": "naive"})
+    assert from_mapping == ExecutionConfig(engine="naive", strategy="naive")
+    assert coerce_config(None) == DEFAULT_CONFIG
+    assert coerce_config(from_mapping) is from_mapping
+
+
+# -- solve() equivalence matrix --------------------------------------------
+
+
+@pytest.mark.parametrize("engine", GROUNDING_ENGINES)
+@pytest.mark.parametrize("strategy", FIXPOINT_STRATEGIES)
+def test_solve_matches_legacy_spellings_across_matrix(diamond, engine, strategy):
+    program, db = diamond
+    config = ExecutionConfig(engine=engine, strategy=strategy)
+    for semiring in (BOOLEAN, COUNTING, TROPICAL):
+        unified = api.solve(program, db, semiring, config=config)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = naive_evaluation(
+                program, db, semiring, strategy=strategy, grounding_engine=engine
+            )
+        assert unified.values == legacy.values
+
+
+def test_session_solve_agrees_with_module_solve(diamond):
+    program, db = diamond
+    session = api.Session(program, db, ExecutionConfig(strategy="columnar"))
+    assert session.solve(COUNTING).values == api.solve(
+        program, db, COUNTING, config=ExecutionConfig(strategy="columnar")
+    ).values
+    assert session.value(Fact("T", (0, 4)), COUNTING) == 2  # 0-1-3-4 and 0-2-3-4
+
+
+# -- deprecation shims ------------------------------------------------------
+
+
+def test_every_legacy_kwarg_warns(diamond):
+    program, db = diamond
+    with pytest.warns(DeprecationWarning, match="naive_evaluation.*deprecated"):
+        naive_evaluation(program, db, BOOLEAN, strategy="naive")
+    with pytest.warns(DeprecationWarning, match="naive_evaluation.*deprecated"):
+        naive_evaluation(program, db, BOOLEAN, grounding_engine="naive")
+    with pytest.warns(DeprecationWarning, match="seminaive_evaluation.*deprecated"):
+        seminaive_evaluation(program, db, BOOLEAN, grounding_engine="indexed")
+    with pytest.warns(DeprecationWarning, match="relevant_grounding.*deprecated"):
+        relevant_grounding(program, db, engine="indexed")
+    with pytest.warns(DeprecationWarning, match="magic_grounding.*deprecated"):
+        magic_grounding(program, 0, db, columnar=True)
+    with pytest.warns(DeprecationWarning, match="generic_circuit.*deprecated"):
+        generic_circuit(program, db, Fact("T", (0, 4)), engine="indexed")
+    grammar = CFG(["S"], ["a"], [("S", ("a",)), ("S", ("S", "S"))], "S")
+    with pytest.warns(DeprecationWarning, match="cfl_reachability.*deprecated"):
+        cfl_reachability(grammar, [(0, "a", 1)], BOOLEAN, strategy="naive")
+
+
+def test_config_spelling_is_warning_free(diamond):
+    program, db = diamond
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        api.solve(program, db, BOOLEAN, config=ExecutionConfig(engine="columnar"))
+        naive_evaluation(program, db, BOOLEAN, config=ExecutionConfig(strategy="naive"))
+        relevant_grounding(program, db, config=ExecutionConfig(engine="naive"))
+        provenance_circuit(program, db, Fact("T", (0, 4)), config=DEFAULT_CONFIG)
+
+
+def test_conflicting_legacy_and_config_knobs_raise(diamond):
+    program, db = diamond
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match="conflicts"):
+            naive_evaluation(
+                program,
+                db,
+                BOOLEAN,
+                strategy="naive",
+                config=ExecutionConfig(strategy="seminaive"),
+            )
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match="conflicts"):
+            relevant_grounding(
+                program, db, engine="naive", config=ExecutionConfig(engine="columnar")
+            )
+    # Agreement is not a conflict.
+    with pytest.warns(DeprecationWarning):
+        relevant_grounding(
+            program, db, engine="naive", config=ExecutionConfig(engine="naive")
+        )
+
+
+def test_fixpoint_engine_accepts_config_and_rejects_contradictions():
+    engine = FixpointEngine(config=ExecutionConfig(strategy="columnar", engine="columnar"))
+    assert engine.strategy == "columnar"
+    assert engine.grounding_engine == "columnar"
+    legacy = FixpointEngine("naive", grounding_engine="naive")
+    assert legacy.config.strategy == "naive"
+    assert legacy.config.engine == "naive"
+    with pytest.raises(ValueError):
+        FixpointEngine("naive", config=ExecutionConfig(strategy="seminaive"))
+
+
+# -- Session caching and fingerprints --------------------------------------
+
+
+def test_session_caches_grounding_and_circuits(diamond):
+    program, db = diamond
+    session = api.Session(program, db)
+    assert session.ground() is session.ground()
+    fact = Fact("T", (0, 4))
+    assert session.circuit(fact) is session.circuit(fact)
+    assert session.compiled(fact) is session.compiled(fact)
+
+
+def test_session_construction_pinning(diamond):
+    program, db = diamond
+    fact = Fact("T", (0, 4))
+    auto = api.Session(program, db).circuit(fact)
+    generic = api.Session(program, db, ExecutionConfig(construction="generic")).circuit(fact)
+    fringe = api.Session(program, db, ExecutionConfig(construction="fringe")).circuit(fact)
+    assert generic.construction == "generic"
+    assert fringe.construction == "fringe"
+    # All three agree on the Boolean answer, whatever auto picked.
+    truth = {Fact("E", edge) for edge in [(0, 1), (1, 3), (3, 4)]}
+    answers = {
+        choice.compiled().evaluate_boolean_batch([truth])[0]
+        for choice in (auto, generic, fringe)
+    }
+    assert answers == {True}
+
+
+def test_fingerprints_track_content_not_identity(diamond):
+    program, db = diamond
+    twin = Database.from_edges([(3, 4), (2, 3), (0, 2), (1, 3), (0, 1)])  # same edges, shuffled
+    assert api.database_fingerprint(db) == api.database_fingerprint(twin)
+    assert api.program_fingerprint(program) == api.program_fingerprint(transitive_closure())
+    twin.set_weight(Fact("E", (0, 1)), 7.0)
+    assert api.database_fingerprint(db) != api.database_fingerprint(twin)
+    bigger = Database.from_edges([(0, 1), (1, 3), (0, 2), (2, 3), (3, 4), (4, 5)])
+    assert api.database_fingerprint(db) != api.database_fingerprint(bigger)
+
+
+def test_session_fingerprint_includes_construction(diamond):
+    program, db = diamond
+    auto = api.Session(program, db).fingerprint
+    pinned = api.Session(program, db, ExecutionConfig(construction="fringe")).fingerprint
+    assert auto[:2] == pinned[:2]
+    assert auto[2] == "auto" and pinned[2] == "fringe"

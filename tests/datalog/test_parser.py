@@ -110,3 +110,13 @@ def test_parsed_program_equals_library_program():
 def test_parse_rule_with_constants_in_head_is_safe_check():
     rule = parse_rule("Good(X) :- R(X, done).")
     assert rule.is_safe()
+
+
+def test_rule_repr_round_trips_through_parser():
+    # repr prints conjunction as ∧; the serving wire format relies on
+    # rule text surviving repr → parse → repr unchanged.
+    from repro.datalog import dyck1, transitive_closure
+
+    for program in (transitive_closure(), dyck1()):
+        text = "\n".join(repr(rule) + "." for rule in program.rules)
+        assert parse_program(text, target=program.target).rules == program.rules

@@ -1,0 +1,119 @@
+"""The micro-batching queue that fills the 64-wide evaluation lanes.
+
+:class:`repro.serving.batcher.LaneBatcher` is the piece that turns
+independent awaited point queries into the batches
+``evaluate_boolean_batch`` wants, so its flush policy is pinned here:
+immediate flush on a full lane, timer flush for stragglers, FIFO
+result order, exception fan-out, and honest fill-ratio accounting.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serving import LaneBatcher
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def echo_flush(items):
+    return [("seen", item) for item in items]
+
+
+def test_single_submit_resolves_via_timer():
+    async def scenario():
+        batcher = LaneBatcher(echo_flush, lane_width=64, max_delay=0.001)
+        result = await batcher.submit("q")
+        assert result == ("seen", "q")
+        stats = batcher.stats
+        assert stats.batches == 1
+        assert stats.items == 1
+        assert stats.timer_flushes == 1
+        assert stats.full_flushes == 0
+
+    run(scenario())
+
+
+def test_full_lane_flushes_immediately_without_timer_wait():
+    async def scenario():
+        # A generous delay that would dominate the test if the full-lane
+        # path waited for the timer.
+        batcher = LaneBatcher(echo_flush, lane_width=8, max_delay=60.0)
+        results = await asyncio.gather(*[batcher.submit(i) for i in range(8)])
+        assert results == [("seen", i) for i in range(8)]
+        assert batcher.stats.full_flushes == 1
+        assert batcher.stats.timer_flushes == 0
+        assert batcher.stats.fill_ratio == 1.0
+
+    run(scenario())
+
+
+def test_results_keep_submission_order_within_a_batch():
+    async def scenario():
+        batcher = LaneBatcher(lambda items: [i * 10 for i in items], lane_width=16, max_delay=0.001)
+        results = await asyncio.gather(*[batcher.submit(i) for i in range(16)])
+        assert results == [i * 10 for i in range(16)]
+
+    run(scenario())
+
+
+def test_overflow_splits_into_full_then_timer_batches():
+    async def scenario():
+        batcher = LaneBatcher(echo_flush, lane_width=4, max_delay=0.001)
+        results = await asyncio.gather(*[batcher.submit(i) for i in range(6)])
+        assert results == [("seen", i) for i in range(6)]
+        stats = batcher.stats
+        assert stats.batches == 2
+        assert stats.items == 6
+        assert stats.full_flushes == 1
+        assert stats.timer_flushes == 1
+        assert stats.fill_ratio == 6 / (2 * 4)
+
+    run(scenario())
+
+
+def test_flush_exception_fans_out_to_every_waiter():
+    async def scenario():
+        def broken(items):
+            raise RuntimeError("kernel exploded")
+
+        batcher = LaneBatcher(broken, lane_width=2, max_delay=0.001)
+        results = await asyncio.gather(
+            batcher.submit(1), batcher.submit(2), return_exceptions=True
+        )
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert batcher.stats.errors == 1
+        # The queue recovers: the next batch is independent.
+        good = LaneBatcher(echo_flush, lane_width=2, max_delay=0.001)
+        assert await good.submit("x") == ("seen", "x")
+
+    run(scenario())
+
+
+def test_flush_now_drains_pending_items():
+    async def scenario():
+        batcher = LaneBatcher(echo_flush, lane_width=64, max_delay=60.0)
+        task = asyncio.ensure_future(batcher.submit("late"))
+        await asyncio.sleep(0)  # let submit enqueue
+        assert batcher.pending == 1
+        batcher.flush_now()
+        assert await task == ("seen", "late")
+        assert batcher.pending == 0
+
+    run(scenario())
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        LaneBatcher(echo_flush, lane_width=0)
+    with pytest.raises(ValueError):
+        LaneBatcher(echo_flush, max_delay=-1.0)
+
+
+def test_empty_stats_report_zero_fill():
+    batcher = LaneBatcher(echo_flush)
+    snap = batcher.stats.snapshot()
+    assert snap["fill_ratio"] == 0.0
+    assert snap["batches"] == 0

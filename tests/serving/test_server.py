@@ -1,0 +1,323 @@
+"""End-to-end suite for the :class:`CircuitServer` HTTP serving layer.
+
+The server's contract (DESIGN.md §10): registration grounds, builds
+and compiles once per ``(program fingerprint, db fingerprint,
+construction)`` key with LRU eviction; Boolean point queries coalesce
+into 64-wide bitset lanes; numeric and incremental routes agree
+*exactly* with direct in-process evaluation of the same circuit; and
+malformed input maps to 4xx responses, never a dropped connection.
+
+pytest-asyncio is not a dependency, so every test drives its own
+event loop through ``asyncio.run``.
+"""
+
+import asyncio
+import json
+
+from repro.constructions import provenance_circuit
+from repro.datalog import Database, Fact, parse_atom, parse_program
+from repro.semirings import TROPICAL
+from repro.serving import CircuitClient, CircuitServer, ServerError
+
+TC = "T(X,Y) :- E(X,Y).\nT(X,Z) :- T(X,Y), E(Y,Z)."
+EDGES = ["E(0,1)", "E(1,2)", "E(2,3)", "E(0,2)"]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_server(scenario, **server_kwargs):
+    async with CircuitServer(**server_kwargs) as (host, port):
+        async with CircuitClient(host, port) as client:
+            return await scenario(host, port, client)
+
+
+# -- lifecycle and registration -------------------------------------------
+
+
+def test_healthz_and_empty_stats():
+    async def scenario(host, port, client):
+        assert (await client.healthz()) == {"status": "ok"}
+        stats = await client.stats()
+        assert stats["circuits"] == 0
+        assert stats["cache"] == {"hits": 0, "misses": 0, "evictions": 0}
+
+    run(with_server(scenario))
+
+
+def test_register_compiles_once_and_hits_cache():
+    async def scenario(host, port, client):
+        first = await client.register(TC, EDGES, "T(0,3)", target="T")
+        assert first["cached"] is False
+        assert first["size"] > 0
+        again = await client.register(TC, EDGES, "T(0,3)", target="T")
+        assert again["cached"] is True
+        assert again["key"] == first["key"]
+        stats = await client.stats()
+        assert stats["cache"]["hits"] == 1
+        assert stats["cache"]["misses"] == 1
+
+    run(with_server(scenario))
+
+
+def test_cache_key_separates_databases_and_constructions():
+    async def scenario(host, port, client):
+        base = await client.register(TC, EDGES, "T(0,3)", target="T")
+        other_db = await client.register(TC, EDGES + ["E(3,4)"], "T(0,3)", target="T")
+        pinned = await client.register(
+            TC, EDGES, "T(0,3)", target="T", construction="generic"
+        )
+        keys = {base["key"], other_db["key"], pinned["key"]}
+        assert len(keys) == 3
+        assert pinned["construction"] == "generic"
+
+    run(with_server(scenario))
+
+
+def test_lru_eviction_forgets_the_oldest_circuit():
+    async def scenario(host, port, client):
+        first = await client.register(TC, EDGES, "T(0,3)", target="T")
+        await client.register(TC, EDGES + ["E(3,4)"], "T(0,4)", target="T")
+        stats = await client.stats()
+        assert stats["circuits"] == 1
+        assert stats["cache"]["evictions"] == 1
+        try:
+            await client.boolean(first["key"], EDGES)
+        except ServerError as exc:
+            assert exc.status == 404
+        else:
+            raise AssertionError("evicted key should 404")
+
+    run(with_server(scenario, max_circuits=1))
+
+
+# -- Boolean serving -------------------------------------------------------
+
+
+def test_boolean_answers_match_direct_evaluation():
+    async def scenario(host, port, client):
+        reg = await client.register(TC, EDGES, "T(0,3)", target="T")
+        key = reg["key"]
+        # Direct in-process ground truth on the same inputs.
+        program = parse_program(TC, target="T")
+        database = Database.from_edges([(0, 1), (1, 2), (2, 3), (0, 2)])
+        compiled = provenance_circuit(program, database, Fact("T", (0, 3))).compiled()
+        cases = [
+            ["E(0,1)", "E(1,2)", "E(2,3)"],
+            ["E(0,2)", "E(2,3)"],
+            ["E(0,1)", "E(2,3)"],  # gap at 1→2: unreachable
+            [],
+            EDGES,
+        ]
+        server_answers = [await client.boolean(key, case) for case in cases]
+        direct = compiled.evaluate_boolean_batch(
+            [frozenset(parse_atom(c).to_fact() for c in case) for case in cases]
+        )
+        assert server_answers == direct == [True, True, False, False, True]
+
+    run(with_server(scenario))
+
+
+def test_concurrent_point_queries_coalesce_into_lanes():
+    async def scenario(host, port, client):
+        reg = await client.register(TC, EDGES, "T(0,3)", target="T")
+        key = reg["key"]
+        workers = [CircuitClient(host, port) for _ in range(32)]
+        for worker in workers:
+            await worker.connect()
+        try:
+            answers = await asyncio.gather(
+                *[worker.boolean(key, EDGES) for worker in workers]
+            )
+        finally:
+            for worker in workers:
+                await worker.close()
+        assert answers == [True] * 32
+        lanes = (await client.stats())["boolean_lanes"]
+        # 32 queries must not have cost 32 single-item bitset passes.
+        assert lanes["items"] == 32
+        assert lanes["batches"] < 32
+        assert lanes["fill_ratio"] > 1 / 64
+
+    run(with_server(scenario))
+
+
+def test_prebuilt_batches_bypass_the_coalescer():
+    async def scenario(host, port, client):
+        reg = await client.register(TC, EDGES, "T(0,3)", target="T")
+        values = await client.boolean_batch(
+            reg["key"], [["E(0,1)", "E(1,2)", "E(2,3)"], ["E(0,1)"]]
+        )
+        assert values == [True, False]
+        lanes = (await client.stats())["boolean_lanes"]
+        assert lanes["items"] == 0  # the coalescing queue never saw them
+
+    run(with_server(scenario))
+
+
+# -- numeric serving -------------------------------------------------------
+
+
+def test_numeric_evaluate_matches_direct_circuit_evaluation():
+    async def scenario(host, port, client):
+        reg = await client.register(TC, EDGES, "T(0,3)", target="T")
+        weights = {"E(0,1)": 1.0, "E(1,2)": 1.0, "E(2,3)": 1.0, "E(0,2)": 5.0}
+        served = await client.evaluate(reg["key"], "tropical", weights)
+        program = parse_program(TC, target="T")
+        database = Database.from_edges([(0, 1), (1, 2), (2, 3), (0, 2)])
+        choice = provenance_circuit(program, database, Fact("T", (0, 3)))
+        direct = choice.evaluate(
+            TROPICAL, {Fact("E", (u, v)): w for (u, v), w in
+                       [((0, 1), 1.0), ((1, 2), 1.0), ((2, 3), 1.0), ((0, 2), 5.0)]}
+        )
+        assert served == direct == 3.0
+
+    run(with_server(scenario))
+
+
+def test_numeric_batch_and_partial_weights_default_to_stored_valuation():
+    async def scenario(host, port, client):
+        reg = await client.register(TC, EDGES, "T(0,3)", target="T")
+        values = await client.evaluate_batch(
+            reg["key"],
+            "counting",
+            [{}, {"E(0,2)": 0}],  # all-ones, then cut the shortcut edge
+        )
+        # Proof trees of T(0,3): 0→1→2→3 and 0→2→3.
+        assert values == [2, 1]
+
+    run(with_server(scenario))
+
+
+def test_update_sessions_persist_and_report_cone_sizes():
+    async def scenario(host, port, client):
+        reg = await client.register(TC, EDGES, "T(0,3)", target="T")
+        key = reg["key"]
+        first = await client.update(key, "counting", {"E(0,2)": 0})
+        assert first["outputs"] == [1]
+        assert 0 < first["cone_size"] <= reg["size"]
+        # Same session, incremental from the previous state.
+        second = await client.update(key, "counting", {"E(0,2)": 1})
+        assert second["outputs"] == [2]
+        third = await client.update(key, "counting", {"E(0,1)": 0, "E(0,2)": 0})
+        assert third["outputs"] == [0]
+
+    run(with_server(scenario))
+
+
+# -- one-shot solve --------------------------------------------------------
+
+
+def test_solve_route_matches_fixpoint_semantics():
+    async def scenario(host, port, client):
+        result = await client.solve(TC, ["E(0,1)", "E(1,2)"], "counting", target="T")
+        assert result["values"] == {"T(0,1)": 1, "T(1,2)": 1, "T(0,2)": 1}
+        assert result["iterations"] >= 2
+
+    run(with_server(scenario))
+
+
+def test_solve_reports_divergence_as_422():
+    async def scenario(host, port, client):
+        status, payload = await client.request(
+            "POST",
+            "/solve",
+            {
+                "program": TC,
+                "target": "T",
+                "facts": ["E(0,1)", "E(1,0)"],
+                "semiring": "counting",
+                "max_iterations": 5,
+            },
+        )
+        assert status == 422
+        assert "diverged" in payload["error"]
+
+    run(with_server(scenario))
+
+
+# -- error handling --------------------------------------------------------
+
+
+def test_unknown_routes_keys_and_semirings():
+    async def scenario(host, port, client):
+        assert (await client.request("GET", "/bogus"))[0] == 404
+        status, payload = await client.request(
+            "POST", "/circuits/feedfacefeedface/boolean", {"true_facts": []}
+        )
+        assert status == 404 and "unknown circuit key" in payload["error"]
+        reg = await client.register(TC, EDGES, "T(0,3)", target="T")
+        status, payload = await client.request(
+            "POST", f"/circuits/{reg['key']}/evaluate", {"semiring": "quantum"}
+        )
+        assert status == 400 and "unknown semiring" in payload["error"]
+
+    run(with_server(scenario))
+
+
+def test_malformed_requests_return_400_not_a_dropped_connection():
+    async def scenario(host, port, client):
+        # Registration without an output fact.
+        status, payload = await client.request("POST", "/circuits", {"program": TC, "target": "T"})
+        assert status == 400 and "output" in payload["error"]
+        # Unparseable fact spelling.
+        status, payload = await client.request(
+            "POST",
+            "/circuits",
+            {"program": TC, "target": "T", "facts": ["E(0,1)"], "output": "not a fact ("},
+        )
+        assert status == 400
+        # Raw invalid JSON body straight down the socket.
+        reader, writer = await asyncio.open_connection(host, port)
+        body = b"{not json"
+        writer.write(
+            b"POST /solve HTTP/1.1\r\nContent-Length: %d\r\n\r\n%s" % (len(body), body)
+        )
+        await writer.drain()
+        status_line = await reader.readline()
+        assert b"400" in status_line
+        writer.close()
+        # The keep-alive client connection is still healthy afterwards.
+        assert (await client.healthz()) == {"status": "ok"}
+
+    run(with_server(scenario))
+
+
+def test_update_with_unknown_fact_is_a_client_error():
+    async def scenario(host, port, client):
+        reg = await client.register(TC, EDGES, "T(0,3)", target="T")
+        status, payload = await client.request(
+            "POST",
+            f"/circuits/{reg['key']}/update",
+            {"semiring": "counting", "delta": {"E(9,9)": 0}},
+        )
+        assert status == 400 and "no input gate" in payload["error"]
+
+    run(with_server(scenario))
+
+
+def test_wire_accepts_list_form_facts():
+    async def scenario(host, port, client):
+        reg = await client.register(
+            TC, [["E", [0, 1]], ["E", [1, 2]]], ["T", [0, 2]], target="T"
+        )
+        assert await client.boolean(reg["key"], [["E", [0, 1]], ["E", [1, 2]]]) is True
+        assert await client.boolean(reg["key"], [["E", [0, 1]]]) is False
+
+    run(with_server(scenario))
+
+
+def test_stats_payload_is_json_round_trippable():
+    async def scenario(host, port, client):
+        reg = await client.register(TC, EDGES, "T(0,3)", target="T")
+        await client.boolean(reg["key"], EDGES)
+        await client.evaluate(reg["key"], "tropical", {})
+        stats = await client.stats()
+        assert json.loads(json.dumps(stats)) == stats
+        entry = stats["per_circuit"][reg["key"]]
+        assert entry["queries"] >= 2
+        assert entry["boolean_lanes"]["items"] == 1
+        assert "tropical" in entry["numeric_lanes"]
+
+    run(with_server(scenario))

@@ -48,6 +48,13 @@ def test_score_ignores_booleans_and_telemetry():
     assert score_of(record("b", mean_cone=164.9, size=2538)) is None
 
 
+def test_score_accepts_serving_throughput():
+    # The serving bench has no speedup (there is no baseline to beat);
+    # its requests/sec headline is the gated score.
+    assert score_of(record("serving", requests_per_sec=1234.5, lane_fill=0.8)) == 1234.5
+    assert score_of(record("serving", speedup=2.0, requests_per_sec=9.0)) == 2.0
+
+
 # -- gating ---------------------------------------------------------------
 
 
@@ -148,6 +155,35 @@ def test_bench_that_stops_emitting_its_score_fails(tmp_path):
     failures, _ = check_trajectory(path, 0.25)
     assert len(failures) == 1
     assert "stopped emitting" in failures[0]
+
+
+def test_lane_fill_gates_alongside_throughput(tmp_path):
+    # Throughput held steady but the batcher degenerated to point
+    # evaluation: that is a serving regression even though the primary
+    # score passed.
+    path = write_trajectory(
+        tmp_path / "BENCH_serving.json",
+        [
+            record("serving", requests_per_sec=1000.0, lane_fill=0.8),
+            record("serving", requests_per_sec=1000.0, lane_fill=0.1),
+        ],
+    )
+    failures, _ = check_trajectory(path, 0.25)
+    assert len(failures) == 1
+    assert "lane_fill" in failures[0]
+
+
+def test_lane_fill_within_threshold_passes(tmp_path):
+    path = write_trajectory(
+        tmp_path / "BENCH_serving.json",
+        [
+            record("serving", requests_per_sec=1000.0, lane_fill=0.80),
+            record("serving", requests_per_sec=990.0, lane_fill=0.75),
+        ],
+    )
+    failures, notes = check_trajectory(path, 0.25)
+    assert failures == []
+    assert any("lane_fill" in note for note in notes)
 
 
 # -- CLI ------------------------------------------------------------------

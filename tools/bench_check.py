@@ -16,8 +16,17 @@ its payload, by convention:
   workloads make them machine-independent), else
 * the top-level ``"speedup"`` field (every head-to-head bench records
   one), else
+* the top-level ``"requests_per_sec"`` field (the serving bench's
+  throughput headline), else
 * the mean of the per-workload ``"speedup"`` values under a
   ``"workloads"`` mapping.
+
+Independently of the primary score, a record carrying a top-level
+``"lane_fill"`` field (the serving bench's batching-efficiency ratio)
+gates that metric the same way: the newest value must not fall more
+than the threshold below the best prior for the same bench key.  A
+throughput win bought by abandoning lane coalescing is still a
+serving regression.
 
 Records with none of these (pure telemetry, e.g. incremental-cone
 statistics) are unscored: a key whose records are *all* unscored
@@ -58,7 +67,7 @@ DEFAULT_THRESHOLD = 0.25
 
 def score_of(record: dict) -> Optional[float]:
     """Higher-is-better scalar for *record*, or None if unscored."""
-    for key in ("probe_ratio", "speedup"):
+    for key in ("probe_ratio", "speedup", "requests_per_sec"):
         value = record.get(key)
         if isinstance(value, (int, float)) and not isinstance(value, bool):
             return float(value)
@@ -72,6 +81,20 @@ def score_of(record: dict) -> Optional[float]:
         if speedups:
             return sum(speedups) / len(speedups)
     return None
+
+
+#: Secondary higher-is-better metrics gated alongside the primary score.
+AUX_METRICS = ("lane_fill",)
+
+
+def aux_scores(record: dict) -> Dict[str, float]:
+    """The record's auxiliary gated metrics (may be empty)."""
+    out: Dict[str, float] = {}
+    for key in AUX_METRICS:
+        value = record.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[key] = float(value)
+    return out
 
 
 def check_trajectory(
@@ -126,6 +149,26 @@ def check_trajectory(
             failures.append(line)
         else:
             notes.append(line)
+
+        # Auxiliary metrics (e.g. lane_fill) gate independently of the
+        # primary score for the same key.
+        for metric in AUX_METRICS:
+            history = [aux_scores(r).get(metric) for r in records]
+            values = [v for v in history if v is not None]
+            if len(values) < 2 or history[-1] is None:
+                continue
+            newest_aux = values[-1]
+            best_aux = max(values[:-1])
+            aux_floor = best_aux * (1.0 - threshold)
+            aux_line = (
+                f"{'FAIL' if newest_aux < aux_floor else 'OK'} {path.name}:{key} "
+                f"[{metric}]: newest {newest_aux:.3f} vs best prior {best_aux:.3f} "
+                f"(floor {aux_floor:.3f})"
+            )
+            if newest_aux < aux_floor:
+                failures.append(aux_line)
+            else:
+                notes.append(aux_line)
     return failures, notes
 
 
