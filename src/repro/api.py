@@ -48,6 +48,7 @@ from .datalog.grounding import (
     columnar_grounding,
     relevant_grounding,
 )
+from .datalog.incremental import MaintainedFixpoint
 from .datalog.seminaive import FixpointEngine
 from .semirings import BOOLEAN
 from .semirings.base import Semiring
@@ -55,6 +56,7 @@ from .semirings.base import Semiring
 __all__ = [
     "ExecutionConfig",
     "Session",
+    "StreamSession",
     "solve",
     "program_fingerprint",
     "database_fingerprint",
@@ -126,6 +128,7 @@ class Session:
         self._ground: Optional[Union[GroundProgram, ColumnarGroundProgram]] = None
         self._choices: Dict[Fact, ConstructionChoice] = {}
         self._fingerprint: Optional[Tuple[str, str, str]] = None
+        self._stream: Optional["StreamSession"] = None
 
     # -- identity ------------------------------------------------------
 
@@ -223,6 +226,170 @@ class Session:
         if assignment is None:
             assignment = self.database.valuation(semiring)
         return self.circuit(fact).serve(semiring, assignment)
+
+    # -- streaming -----------------------------------------------------
+
+    def stream(self, *semirings: Semiring) -> "StreamSession":
+        """The session's live write handle (lazily created, cached).
+
+        Attaches a :class:`~repro.datalog.incremental.MaintainedFixpoint`
+        to the database, after which fact inserts/retracts/reweights
+        are absorbed differentially instead of invalidating the
+        session wholesale: the cached grounding tracks the maintained
+        ground program, stale per-output circuit choices are dropped,
+        and circuits served through :meth:`StreamSession.serve`
+        receive leaf-level pushes.  Pass the semirings to maintain
+        dense value state for (more can be tracked later).
+        """
+        if self._stream is None:
+            self._stream = StreamSession(self, semirings)
+        else:
+            for semiring in semirings:
+                self._stream.fixpoint.track(semiring)
+        return self._stream
+
+
+class ServedStream:
+    """A live circuit evaluator pinned to one output fact of a stream.
+
+    Wraps an :class:`~repro.circuits.runtime.IncrementalEvaluator` and
+    keeps it consistent across stream mutations:
+
+    * retracting a leaf the circuit references pushes semiring ``0``
+      into its gate (a provenance polynomial at ``x = 0`` -- exactly
+      what "the fact is gone" means for an already-built circuit);
+    * reweighting (or re-inserting) a known leaf pushes the new value;
+    * inserting a fact the circuit has *no* gate for is structural:
+      new derivations may exist, so the circuit is rebuilt from the
+      maintained database state.
+
+    Deltas that touch facts outside the circuit's leaf set are
+    ignored -- they cannot change this output.
+    """
+
+    def __init__(self, stream: "StreamSession", output: Fact, semiring: Semiring):
+        self._stream = stream
+        self.output = output
+        self.semiring = semiring
+        self.rebuilds = 0
+        self._build()
+
+    def _build(self) -> None:
+        session = self._stream.session
+        self.evaluator = session.circuit(self.output).serve(
+            self.semiring, self._stream.assignment(self.semiring)
+        )
+
+    def _apply(self, kind: str, fact: Fact, weight: object) -> None:
+        known = fact in self.evaluator.compiled.var_slots
+        if kind == "insert" and not known:
+            self.rebuilds += 1
+            self._build()
+            return
+        if not known:
+            return
+        semiring = self.semiring
+        if kind == "retract":
+            value = semiring.zero
+        else:
+            value = semiring.one if weight is None else weight
+        self.evaluator.update({fact: value})
+
+    def value(self):
+        """The output fact's current circuit value."""
+        return self.evaluator.value()
+
+    @property
+    def last_cone_size(self) -> int:
+        return self.evaluator.last_cone_size
+
+
+class StreamSession:
+    """Differential writes against a :class:`Session` (DESIGN.md §11).
+
+    Obtained from :meth:`Session.stream`.  Inserts/retracts route
+    through the database (so any direct ``db.add_fact`` is equivalent)
+    into the attached
+    :class:`~repro.datalog.incremental.MaintainedFixpoint`; this
+    wrapper keeps the *session-level* artifacts consistent too:
+
+    * the session's cached grounding follows the maintained ground
+      program (columnar strategies consume it directly, tuple
+      strategies decode it at the boundary);
+    * per-output circuit choices are invalidated (they are
+      structural), but circuits already served via :meth:`serve` stay
+      live through leaf pushes and only rebuild on structural inserts;
+    * :meth:`assignment` completes the database valuation with
+      semiring zeros for retracted facts that older compiled circuits
+      still reference, so binding them never KeyErrors.
+    """
+
+    def __init__(self, session: Session, semirings: Tuple[Semiring, ...] = ()):
+        self.session = session
+        self.fixpoint = MaintainedFixpoint(
+            session.program, session.database, semirings=semirings
+        )
+        self._zeroed: set[Fact] = set()
+        self._served: list[ServedStream] = []
+        session._ground = self.fixpoint.cground
+        self.fixpoint.add_listener(self._on_delta)
+
+    # -- writes --------------------------------------------------------
+
+    def insert(self, fact, *args, weight: object = None) -> bool:
+        """Insert an EDB fact; True iff it was new."""
+        return self.fixpoint.insert(fact, *args, weight=weight)
+
+    def retract(self, fact, *args) -> Fact:
+        """Retract an EDB fact; KeyError if absent."""
+        return self.fixpoint.retract(fact, *args)
+
+    def set_weight(self, fact: Fact, weight: object) -> None:
+        """Change one EDB fact's annotation."""
+        self.session.database.set_weight(fact, weight)
+
+    # -- reads ---------------------------------------------------------
+
+    def value(self, fact: Fact, semiring: Semiring = BOOLEAN):
+        """Maintained value of one IDB fact (O(1) array read)."""
+        return self.fixpoint.value(fact, semiring)
+
+    def values(self, semiring: Semiring = BOOLEAN) -> Dict[Fact, object]:
+        return self.fixpoint.values(semiring)
+
+    def result(self, semiring: Semiring = BOOLEAN, **kwargs) -> EvaluationResult:
+        """Batch-equivalent :class:`EvaluationResult` (see
+        :meth:`MaintainedFixpoint.result`)."""
+        return self.fixpoint.result(semiring, **kwargs)
+
+    def assignment(self, semiring: Semiring) -> Dict[Fact, object]:
+        """The database valuation, extended with zeros for leaves only
+        older compiled circuits still reference."""
+        assignment = self.session.database.valuation(semiring)
+        zero = semiring.zero
+        for fact in self._zeroed:
+            assignment.setdefault(fact, zero)
+        return assignment
+
+    def serve(self, fact: Fact, semiring: Semiring = BOOLEAN) -> ServedStream:
+        """A continuously-maintained circuit evaluator on *fact*."""
+        served = ServedStream(self, fact, semiring)
+        self._served.append(served)
+        return served
+
+    # -- delta plumbing ------------------------------------------------
+
+    def _on_delta(self, kind: str, fact: Fact, weight: object) -> None:
+        session = self.session
+        session._fingerprint = None
+        session._choices.clear()
+        session._ground = self.fixpoint.cground
+        if kind == "retract":
+            self._zeroed.add(fact)
+        else:
+            self._zeroed.discard(fact)
+        for served in tuple(self._served):
+            served._apply(kind, fact, weight)
 
 
 def solve(

@@ -46,6 +46,7 @@ from .grounding import (
     full_grounding,
     relevant_grounding,
 )
+from .incremental import MaintainedFixpoint
 from .seminaive import (
     COLUMNAR,
     DEFAULT_STRATEGY,
@@ -128,6 +129,7 @@ __all__ = [
     "evaluate_fact",
     "boolean_iterations",
     "FixpointEngine",
+    "MaintainedFixpoint",
     "DEFAULT_STRATEGY",
     "NAIVE",
     "SEMINAIVE",

@@ -15,6 +15,14 @@ active domain, per-semiring valuations and the columnar store -- are
 cached and invalidated on mutation, so hot paths (grounding, repeated
 evaluation, circuit construction) pay the scan once per database
 state, not once per call.
+
+Invalidation is *delta-aware* when a maintainer (a
+:class:`~repro.datalog.incremental.MaintainedFixpoint`) is attached:
+single-fact insert/retract/reweight then patches the cached domain,
+valuations and columnar store in place instead of dropping them, and
+the maintainer is notified after the caches are consistent (DESIGN.md
+§11).  Without a maintainer the historical wholesale invalidation is
+kept -- batch writers pay one rebuild, not per-fact bookkeeping.
 """
 
 from __future__ import annotations
@@ -48,6 +56,10 @@ class Database:
         # process-wide GLOBAL_SYMBOLS; set by columnar_store(symbols=...)
         # and sticky across cache invalidations.
         self._columnar_symbols: Optional[SymbolTable] = None
+        # Attached MaintainedFixpoint observers (DESIGN.md §11): when
+        # non-empty, single-fact mutations patch the caches in place
+        # and notify each maintainer instead of wholesale invalidation.
+        self._maintainers: list = []
         for fact in facts:
             self.add_fact(fact)
         if weights:
@@ -63,20 +75,90 @@ class Database:
 
     def add_fact(self, fact: Fact, weight: object = None) -> Fact:
         relation = self._relations.setdefault(fact.predicate, set())
-        if fact.args not in relation:
+        new = fact.args not in relation
+        if new:
             relation.add(fact.args)
-            self._invalidate()
         if weight is not None:
             self._weights[fact] = weight
-            self._valuation_cache.clear()
+        if new:
+            self._invalidate(fact)
+            for maintainer in tuple(self._maintainers):
+                maintainer._apply_insert(fact, weight)
+        elif weight is not None:
+            self._reweight(fact, weight)
+            for maintainer in tuple(self._maintainers):
+                maintainer._apply_weight(fact, weight)
         return fact
 
-    def _invalidate(self) -> None:
-        """Drop every derived-view cache (a fact was inserted)."""
+    def retract(self, predicate: str, *args: Hashable) -> Fact:
+        """Remove ``predicate(*args)``; returns the removed :class:`Fact`.
+
+        Raises :class:`KeyError` when the fact is not present -- a
+        silent no-op would let a streaming client believe an expiry
+        landed when it targeted the wrong fact.
+        """
+        return self.retract_fact(Fact(predicate, args))
+
+    def retract_fact(self, fact: Fact) -> Fact:
+        relation = self._relations.get(fact.predicate)
+        if relation is None or fact.args not in relation:
+            raise KeyError(f"{fact} not in database")
+        relation.remove(fact.args)
+        self._weights.pop(fact, None)
+        self._invalidate(fact, removed=True)
+        for maintainer in tuple(self._maintainers):
+            maintainer._apply_retract(fact)
+        return fact
+
+    def _invalidate(self, fact: Optional[Fact] = None, removed: bool = False) -> None:
+        """Drop -- or, with a maintainer attached, patch -- the caches.
+
+        The sorted fact tuple always drops (rebuilding it is one lazy
+        pass).  With no maintainer, or for bulk operations (``fact``
+        is ``None``), every derived view drops wholesale as before.
+        With a maintainer and a single-fact delta, the active domain,
+        cached per-semiring valuations and the columnar store are
+        updated in place so unrelated state survives the mutation.
+        """
         self._facts_cache = None
-        self._domain_cache = None
-        self._valuation_cache.clear()
-        self._columnar_cache = None
+        if fact is None or not self._maintainers:
+            self._domain_cache = None
+            self._valuation_cache.clear()
+            self._columnar_cache = None
+            return
+        if removed:
+            # Whether the fact's constants still occur elsewhere would
+            # take a scan to establish; drop just the domain.
+            self._domain_cache = None
+            for _, valuation in self._valuation_cache.values():
+                valuation.pop(fact, None)
+            if self._columnar_cache is not None:
+                self._columnar_cache.remove_fact(fact)
+        else:
+            if self._domain_cache is not None:
+                self._domain_cache = self._domain_cache | frozenset(fact.args)
+            weight = self._weights.get(fact)
+            for semiring, valuation in self._valuation_cache.values():
+                valuation[fact] = semiring.one if weight is None else weight
+            if self._columnar_cache is not None:
+                self._columnar_cache.insert_fact(fact)
+
+    def _reweight(self, fact: Fact, weight: object) -> None:
+        if self._maintainers:
+            for _, valuation in self._valuation_cache.values():
+                valuation[fact] = weight
+        else:
+            self._valuation_cache.clear()
+
+    # -- maintainers -----------------------------------------------------
+
+    def _attach_maintainer(self, maintainer) -> None:
+        if maintainer not in self._maintainers:
+            self._maintainers.append(maintainer)
+
+    def _detach_maintainer(self, maintainer) -> None:
+        if maintainer in self._maintainers:
+            self._maintainers.remove(maintainer)
 
     @classmethod
     def from_edges(
@@ -195,7 +277,9 @@ class Database:
         if fact not in self:
             raise KeyError(f"{fact} not in database")
         self._weights[fact] = weight
-        self._valuation_cache.clear()
+        self._reweight(fact, weight)
+        for maintainer in tuple(self._maintainers):
+            maintainer._apply_weight(fact, weight)
 
     def valuation(self, semiring: Semiring) -> Dict[Fact, object]:
         """Fact → semiring value; unannotated facts default to ``1``.

@@ -376,6 +376,31 @@ class ColumnarRelation:
             return range(len(self))
         return self.index_for(positions).lookup(key)
 
+    def remove(self, ids: IdRow) -> bool:
+        """Remove one id row; ``True`` iff it was resident.
+
+        Removal is swap-with-last: the final row moves into the freed
+        slot so the columns stay dense, which renumbers that one row.
+        Pattern indexes (and their pending tails) are dropped and
+        rebuild lazily, and any outstanding :class:`DeltaView` windows
+        or :meth:`ColumnarStore.watermark` marks are invalidated --
+        the maintenance layer (:mod:`repro.datalog.incremental`) only
+        removes rows *between* delta passes for exactly this reason.
+        """
+        row = self._row_index.pop(ids, None)
+        if row is None:
+            return False
+        last = len(self._row_index)
+        if row != last:
+            moved = tuple(column[last] for column in self.columns)
+            for column in self.columns:
+                column[row] = column[last]
+            self._row_index[moved] = row
+        for column in self.columns:
+            column.pop()
+        self._indexes.clear()
+        return True
+
     def copy(self) -> "ColumnarRelation":
         """Independent copy of the columns and row keys.
 
@@ -481,6 +506,24 @@ class ColumnarStore:
     def insert_fact(self, fact: Fact) -> bool:
         """Intern and append one fact; True iff it was new."""
         return self.insert_ids(fact.predicate, self.symbols.intern_row(fact.args))
+
+    def remove_ids(self, predicate: str, ids: IdRow) -> bool:
+        """Remove one interned row; True iff it was resident.
+
+        See :meth:`ColumnarRelation.remove` for the swap-with-last
+        semantics and the delta-window caveat.
+        """
+        relation = self._relations.get((predicate, len(ids)))
+        return relation is not None and relation.remove(ids)
+
+    def remove_fact(self, fact: Fact) -> bool:
+        """Remove one fact if its constants are known; True iff removed.
+
+        Symbol interning is append-only, so removal never shrinks the
+        symbol table -- only the relation columns.
+        """
+        ids = self.symbols.get_row(fact.args)
+        return ids is not None and self.remove_ids(fact.predicate, ids)
 
     # -- readers ---------------------------------------------------------
 

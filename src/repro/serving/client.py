@@ -188,6 +188,34 @@ class CircuitClient:
         body = {"semiring": semiring, "delta": _wire_weights(delta)}
         return await self._call("POST", f"/circuits/{key}/update", body)
 
+    async def facts(
+        self,
+        key: str,
+        *,
+        insert: Iterable = (),
+        retract: Iterable = (),
+        weights: Optional[Mapping] = None,
+    ) -> dict:
+        """Stream a fact delta (inserts/retracts/reweights) into a circuit.
+
+        ``insert`` items may be plain facts or ``(fact, weight)`` pairs;
+        the server maintains its fixpoint differentially and recompiles
+        the circuit only when an insert adds a leaf it has never seen.
+        """
+        wire_insert = []
+        for item in insert:
+            if isinstance(item, tuple) and len(item) == 2 and isinstance(item[0], Fact):
+                wire_insert.append({"fact": _wire_fact(item[0]), "weight": item[1]})
+            else:
+                wire_insert.append(_wire_fact(item))
+        body: Dict[str, Any] = {
+            "insert": wire_insert,
+            "retract": [_wire_fact(f) for f in retract],
+        }
+        if weights is not None:
+            body["weights"] = _wire_weights(weights)
+        return await self._call("POST", f"/circuits/{key}/facts", body)
+
     async def solve(
         self,
         program: object,

@@ -16,6 +16,13 @@ subsequent query is pure circuit evaluation:
 * ``POST /circuits/<key>/update`` -- sparse weight deltas served by a
   per-(circuit, semiring) ``IncrementalEvaluator`` session that pays
   only the dirty cone;
+* ``POST /circuits/<key>/facts`` -- *fact-stream* deltas (inserts,
+  retracts, reweights) absorbed by the entry's
+  :class:`~repro.api.StreamSession` (DESIGN.md §11): the maintained
+  fixpoint regrounds differentially, retracted leaves are served as
+  semiring ``0`` to the existing circuit, and only an insert that
+  creates a leaf the compiled circuit has never seen triggers a
+  recompile (reported as ``"recompiled": true``);
 * ``POST /solve`` -- one-shot fixpoint evaluation (no circuit cache),
   with divergence reported as HTTP 422.
 
@@ -134,6 +141,7 @@ class _CircuitEntry:
         "incremental",
         "base_valuations",
         "queries",
+        "stream",
     )
 
     def __init__(self, key: str, session: Session, output: Fact, lane_width: int, max_delay: float):
@@ -150,6 +158,8 @@ class _CircuitEntry:
         # name → dense base valuation reused to complete sparse queries.
         self.base_valuations: Dict[str, Dict[Fact, object]] = {}
         self.queries = 0
+        # StreamSession write handle; attached on the first facts delta.
+        self.stream = None
 
     def _boolean_flush(self, batches: List) -> List[bool]:
         return self.compiled.evaluate_boolean_batch(batches)
@@ -157,9 +167,17 @@ class _CircuitEntry:
     def base_valuation(self, name: str, semiring) -> Dict[Fact, object]:
         base = self.base_valuations.get(name)
         if base is None:
-            base = self.session.database.valuation(semiring)
+            if self.stream is not None:
+                base = self.stream.assignment(semiring)
+            else:
+                base = self.session.database.valuation(semiring)
             self.base_valuations[name] = base
         return base
+
+    def get_stream(self):
+        if self.stream is None:
+            self.stream = self.session.stream()
+        return self.stream
 
     def numeric_batcher(self, name: str, semiring, lane_width: int, max_delay: float) -> "LaneBatcher":
         batcher = self.numeric_batchers.get(name)
@@ -174,7 +192,8 @@ class _CircuitEntry:
     def update_session(self, name: str, semiring):
         session = self.incremental.get(name)
         if session is None:
-            session = self.session.serve(self.output, semiring)
+            assignment = None if self.stream is None else self.stream.assignment(semiring)
+            session = self.session.serve(self.output, semiring, assignment)
             self.incremental[name] = session
         return session
 
@@ -350,6 +369,8 @@ class CircuitServer:
                     return 200, await self._evaluate(entry, self._require_body(body))
                 if action == "update":
                     return 200, self._update(entry, self._require_body(body))
+                if action == "facts":
+                    return 200, self._facts(entry, self._require_body(body))
             return 404, {"error": f"no route for {method} {path}"}
         except ServingError as exc:
             return exc.status, {"error": str(exc)}
@@ -465,6 +486,54 @@ class CircuitServer:
         except KeyError as exc:
             raise ServingError(400, f"delta touches a fact with no input gate: {exc}") from exc
         return {"outputs": outputs, "cone_size": session.last_cone_size}
+
+    def _facts(self, entry: _CircuitEntry, body: Mapping[str, Any]) -> dict:
+        inserts: List[Tuple[Fact, object]] = []
+        for item in body.get("insert", ()):
+            if isinstance(item, Mapping):
+                if "fact" not in item:
+                    raise ServingError(400, "each weighted insert needs a 'fact' key")
+                inserts.append((fact_from_wire(item["fact"]), item.get("weight")))
+            else:
+                inserts.append((fact_from_wire(item), None))
+        retracts = [fact_from_wire(item) for item in body.get("retract", ())]
+        weights = _parse_weights(body.get("weights"), "'weights'")
+        if not inserts and not retracts and not weights:
+            raise ServingError(400, "expected 'insert', 'retract' and/or 'weights'")
+        # Validate the whole delta up front so a bad item can't leave the
+        # route half-applied.
+        database = entry.session.database
+        idbs = entry.session.program.idb_predicates
+        for fact in [f for f, _ in inserts] + retracts + list(weights):
+            if fact.predicate in idbs:
+                raise ServingError(400, f"{fact} is an IDB fact; only EDB facts stream")
+        for fact in retracts:
+            if fact not in database:
+                raise ServingError(400, f"cannot retract {fact}: not in the database")
+        stream = entry.get_stream()
+        known = entry.compiled.var_slots
+        structural = any(fact not in known and fact not in database for fact, _ in inserts)
+        inserted = sum(stream.insert(fact, weight=weight) for fact, weight in inserts)
+        for fact in retracts:
+            stream.retract(fact)
+        for fact, weight in weights.items():
+            stream.set_weight(fact, weight)
+        # Cached per-semiring state is built from the pre-delta valuation.
+        entry.base_valuations.clear()
+        entry.incremental.clear()
+        recompiled = False
+        if structural:
+            entry.choice = entry.session.circuit(entry.output)
+            entry.compiled = entry.choice.compiled()
+            recompiled = True
+        return {
+            "inserted": inserted,
+            "retracted": len(retracts),
+            "reweighted": len(weights),
+            "recompiled": recompiled,
+            "size": entry.compiled.size,
+            "database_fingerprint": entry.session.fingerprint[1],
+        }
 
     def _solve(self, body: Mapping[str, Any]) -> dict:
         session, _config = self._build_problem(body)

@@ -1,4 +1,4 @@
-"""Workload generators (graphs and labeled graphs) for the benches."""
+"""Workload generators (graphs, labeled graphs, streams) for the benches."""
 
 from .graphs import (
     LayeredGraph,
@@ -9,6 +9,12 @@ from .graphs import (
     path_graph,
     random_digraph,
     random_weights,
+)
+from .streaming import (
+    StreamEvent,
+    apply_event,
+    replay_events,
+    sliding_window_stream,
 )
 from .labeled import (
     dyck_concatenated_path,
@@ -32,4 +38,8 @@ __all__ = [
     "dyck_nested_path",
     "dyck_concatenated_path",
     "random_bracket_graph",
+    "StreamEvent",
+    "sliding_window_stream",
+    "apply_event",
+    "replay_events",
 ]

@@ -1,0 +1,129 @@
+"""Streaming-graph workloads for differential maintenance (DESIGN.md §11).
+
+A *fact stream* is a seeded, deterministic sequence of events over one
+edge relation::
+
+    ("insert",  Fact("E", (u, v)), weight)
+    ("retract", Fact("E", (u, v)), None)
+    ("weight",  Fact("E", (u, v)), weight)
+
+The generator models the classic sliding-window graph: edges arrive
+with random endpoints and weights, and once the live window is full the
+oldest non-backbone edge expires.  A pinned backbone path ``0 → 1 →
+... → n-1`` is never retracted, so the benchmark fact ``T(0, n-1)``
+stays derivable throughout -- maintenance work is dominated by churn
+around the backbone, not by the output flickering in and out of
+existence.
+
+``replay_events`` applies a prefix of the stream to a plain
+:class:`~repro.datalog.database.Database`; the recompute-from-scratch
+baselines (and the stream-vs-recompute tests) use it to build the
+ground-truth database at any point of the stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..datalog.ast import Fact
+from ..datalog.database import Database
+
+__all__ = ["StreamEvent", "sliding_window_stream", "replay_events", "apply_event"]
+
+#: ``(kind, fact, weight)`` with kind one of "insert" / "retract" / "weight".
+StreamEvent = Tuple[str, Fact, Optional[object]]
+
+
+def sliding_window_stream(
+    num_vertices: int,
+    window: int,
+    num_events: int,
+    seed: int = 0,
+    edge: str = "E",
+    weight_low: int = 1,
+    weight_high: int = 9,
+    reweight_probability: float = 0.1,
+) -> Tuple[Database, List[StreamEvent]]:
+    """A sliding-window edge stream over ``0..n-1``.
+
+    Returns ``(initial database, events)``.  The initial database is
+    the weighted backbone path; each event then either
+
+    * inserts a fresh random edge ``u → v`` (``u ≠ v``, not currently
+      live) with an integer weight,
+    * reweights a live edge (probability *reweight_probability*), or
+    * retracts the oldest windowed edge once more than *window*
+      non-backbone edges are live (emitted before the insert that
+      overflowed the window, FIFO order).
+
+    Integer weights keep tropical/counting arithmetic exact, so
+    maintained values can be compared to recomputed ones with ``==``.
+    """
+    if num_vertices < 2:
+        raise ValueError("need at least two vertices")
+    if window < 1:
+        raise ValueError("window must be ≥ 1")
+    rng = random.Random(seed)
+    backbone = [(i, i + 1) for i in range(num_vertices - 1)]
+    database = Database()
+    for u, v in backbone:
+        database.add_fact(
+            Fact(edge, (u, v)), weight=float(rng.randint(weight_low, weight_high))
+        )
+    live: List[Tuple[int, int]] = []  # FIFO window of non-backbone edges
+    live_set = set(backbone)
+    events: List[StreamEvent] = []
+    while len(events) < num_events:
+        if live and rng.random() < reweight_probability:
+            u, v = live[rng.randrange(len(live))]
+            weight = float(rng.randint(weight_low, weight_high))
+            events.append(("weight", Fact(edge, (u, v)), weight))
+            continue
+        for _ in range(50 * num_vertices):
+            u = rng.randrange(num_vertices)
+            v = rng.randrange(num_vertices)
+            if u != v and (u, v) not in live_set:
+                break
+        else:  # pragma: no cover - dense window, nothing insertable
+            u, v = live[0]
+            events.append(("retract", Fact(edge, (u, v)), None))
+            live_set.discard(live.pop(0))
+            continue
+        if len(live) >= window:
+            ou, ov = live.pop(0)
+            live_set.discard((ou, ov))
+            events.append(("retract", Fact(edge, (ou, ov)), None))
+            if len(events) >= num_events:
+                break
+        live.append((u, v))
+        live_set.add((u, v))
+        weight = float(rng.randint(weight_low, weight_high))
+        events.append(("insert", Fact(edge, (u, v)), weight))
+    return database, events[:num_events]
+
+
+def apply_event(database: Database, event: StreamEvent) -> None:
+    """Apply one stream event to *database* in place."""
+    kind, fact, weight = event
+    if kind == "insert":
+        database.add_fact(fact, weight=weight)
+    elif kind == "retract":
+        database.retract_fact(fact)
+    elif kind == "weight":
+        database.set_weight(fact, weight)
+    else:
+        raise ValueError(f"unknown stream event kind {kind!r}")
+
+
+def replay_events(database: Database, events: List[StreamEvent]) -> Database:
+    """A fresh copy of *database* with *events* applied (ground truth)."""
+    replayed = database.copy()
+    for event in events:
+        apply_event(replayed, event)
+    return replayed
+
+
+def _weights(database: Database) -> Dict[Fact, object]:
+    """The stored weights of *database* (testing convenience)."""
+    return {fact: database.weight(fact) for fact in database.facts()}

@@ -154,3 +154,67 @@ def test_facts_iteration_unaffected_by_caching():
     after = list(db.facts())
     assert len(after) == 3
     assert Fact("A", (9,)) in after
+
+
+# -- delta-aware invalidation with a maintainer attached -------------------
+
+
+def test_cached_valuation_survives_unrelated_mutation_with_maintainer():
+    """Regression (DESIGN.md §11): with a MaintainedFixpoint attached,
+    a single-fact write patches the cached valuation in place -- the
+    same dict object survives a mutation of an *unrelated* relation
+    and stays correct, instead of being rebuilt from scratch."""
+    from repro.datalog import MaintainedFixpoint, transitive_closure
+
+    db = Database.from_edges([(1, 2), (2, 3)])
+    MaintainedFixpoint(transitive_closure(), db)
+
+    assert db.valuation(TROPICAL) == {
+        Fact("E", (1, 2)): 0.0,
+        Fact("E", (2, 3)): 0.0,
+    }
+    cached = db._valuation_cache[id(TROPICAL)][1]
+
+    # Writes against a relation the query never touches.
+    db.add("Label", "a", weight=4.0)
+    assert db._valuation_cache[id(TROPICAL)][1] is cached
+    assert db.valuation(TROPICAL)[Fact("Label", ("a",))] == 4.0
+
+    db.set_weight(Fact("Label", ("a",)), 6.0)
+    assert db._valuation_cache[id(TROPICAL)][1] is cached
+    assert db.valuation(TROPICAL)[Fact("Label", ("a",))] == 6.0
+
+    db.retract("Label", "a")
+    assert db._valuation_cache[id(TROPICAL)][1] is cached
+    valuation = db.valuation(TROPICAL)
+    assert Fact("Label", ("a",)) not in valuation
+    assert valuation[Fact("E", (1, 2))] == 0.0
+
+    # The columnar snapshot is patched in place as well.
+    store = db.columnar_store()
+    db.add("Label", "b")
+    assert db.columnar_store() is store
+    assert store.relation("Label") is not None and len(store.relation("Label")) == 1
+
+
+def test_wholesale_invalidation_without_maintainer():
+    """Without a maintainer the historical behavior stands: any write
+    drops the cached valuation wholesale."""
+    db = Database.from_edges([(1, 2)])
+    db.valuation(TROPICAL)
+    db.add("Label", "a")
+    assert not db._valuation_cache
+    db.valuation(TROPICAL)
+    db.retract("Label", "a")
+    assert not db._valuation_cache
+
+
+def test_detached_maintainer_restores_wholesale_invalidation():
+    from repro.datalog import MaintainedFixpoint, transitive_closure
+
+    db = Database.from_edges([(1, 2)])
+    fix = MaintainedFixpoint(transitive_closure(), db)
+    db.valuation(TROPICAL)
+    fix.detach()
+    db.add("E", 2, 3)
+    assert not db._valuation_cache

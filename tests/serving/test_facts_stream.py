@@ -1,0 +1,176 @@
+"""End-to-end tests for the ``/circuits/<key>/facts`` streaming route.
+
+The route's contract (DESIGN.md §11): a registered circuit stays
+servable while the underlying database churns.  Fact deltas are
+absorbed by the entry's :class:`~repro.api.StreamSession` -- the
+maintained fixpoint regrounds differentially, retracted leaves are
+completed to semiring ``0`` in every later assignment, and only an
+insert introducing a leaf the compiled circuit has never seen forces
+a recompile.  After *every* delta the Boolean lanes, the numeric
+valuation route and the incremental update route must agree exactly
+with direct in-process evaluation of the replayed database.
+
+pytest-asyncio is not a dependency, so every test drives its own
+event loop through ``asyncio.run``.
+"""
+
+import asyncio
+
+from repro.api import solve
+from repro.datalog import Database, Fact, parse_program
+from repro.semirings import BOOLEAN, TROPICAL
+from repro.serving import CircuitClient, CircuitServer, ServerError
+
+TC = "T(X,Y) :- E(X,Y).\nT(X,Z) :- T(X,Y), E(Y,Z)."
+PROGRAM = parse_program(TC, target="T")
+OUT = Fact("T", (0, 3))
+
+START = {
+    Fact("E", (0, 1)): 1.0,
+    Fact("E", (1, 2)): 2.0,
+    Fact("E", (2, 3)): 3.0,
+}
+
+# (insert {fact: weight}, retract [facts]) steps; mirrors a sliding
+# window: a shortcut arrives, gets reweighted, expires, then returns.
+STEPS = [
+    ({Fact("E", (0, 2)): 1.5}, []),
+    ({}, [Fact("E", (1, 2))]),
+    ({Fact("E", (1, 3)): 0.25}, [Fact("E", (0, 2))]),
+    ({Fact("E", (1, 2)): 4.0}, []),
+    ({}, [Fact("E", (1, 3))]),
+]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_server(scenario, **server_kwargs):
+    async with CircuitServer(**server_kwargs) as (host, port):
+        async with CircuitClient(host, port) as client:
+            return await scenario(host, port, client)
+
+
+def replay(weights):
+    database = Database()
+    for fact, weight in weights.items():
+        database.add_fact(fact, weight=weight)
+    return database
+
+
+async def register(client):
+    report = await client.register(
+        TC, list(START), OUT, target="T", weights=START
+    )
+    return report["key"]
+
+
+def test_facts_stream_matches_direct_replay():
+    """The headline interleaving: after every delta, Boolean lanes,
+    numeric valuations and a fresh solve of the replayed database all
+    agree."""
+
+    async def scenario(host, port, client):
+        key = await register(client)
+        live = dict(START)
+        for insert, retract in STEPS:
+            report = await client.facts(
+                key,
+                insert=[(fact, weight) for fact, weight in insert.items() if fact not in live],
+                retract=retract,
+                weights={f: w for f, w in insert.items() if f in live},
+            )
+            for fact in retract:
+                live.pop(fact)
+            live.update(insert)
+
+            expected = solve(PROGRAM, replay(live), TROPICAL)
+            expected_bool = solve(PROGRAM, replay(live), BOOLEAN)
+            assert report["database_fingerprint"]
+
+            # Numeric valuation from the maintained base assignment.
+            value = await client.evaluate(key, "tropical")
+            assert value == expected.value(OUT)
+
+            # Boolean point queries coalesce into lanes: fire several
+            # concurrently so the batcher actually packs them.
+            queries = [list(live), list(live)[:1], []]
+            got = await asyncio.gather(
+                *(client.boolean(key, q) for q in queries)
+            )
+            assert got[0] is bool(expected_bool.value(OUT))
+            assert got[1] is False  # one edge cannot span 0 → 3
+            assert got[2] is False
+
+    run(with_server(scenario))
+
+
+def test_facts_recompiles_only_for_unseen_leaves():
+    async def scenario(host, port, client):
+        key = await register(client)
+        # Reweight and retract: the compiled circuit already knows
+        # every touched leaf, so no recompile.
+        report = await client.facts(key, weights={Fact("E", (1, 2)): 0.5})
+        assert report["recompiled"] is False and report["reweighted"] == 1
+        report = await client.facts(key, retract=[Fact("E", (2, 3))])
+        assert report["recompiled"] is False and report["retracted"] == 1
+        # Re-inserting a retracted edge: the circuit still has that
+        # leaf, so a plain value push suffices.
+        report = await client.facts(key, insert=[(Fact("E", (2, 3)), 1.0)])
+        assert report["recompiled"] is False and report["inserted"] == 1
+        assert (await client.evaluate(key, "tropical")) == 2.5
+        # A brand-new edge is an unseen input gate: recompile.
+        report = await client.facts(key, insert=[(Fact("E", (0, 3)), 9.0)])
+        assert report["recompiled"] is True and report["inserted"] == 1
+        assert (await client.evaluate(key, "tropical")) == 2.5
+
+    run(with_server(scenario))
+
+
+def test_facts_interleaves_with_update_sessions():
+    """The sparse-delta /update route keeps working across fact
+    deltas; its what-if baseline tracks the streamed database."""
+
+    async def scenario(host, port, client):
+        key = await register(client)
+        before = await client.update(key, "tropical", {Fact("E", (0, 1)): 0.5})
+        assert before["outputs"] == [5.5]
+        await client.facts(key, weights={Fact("E", (2, 3)): 1.0})
+        after = await client.update(key, "tropical", {Fact("E", (0, 1)): 0.5})
+        assert after["outputs"] == [3.5]
+
+    run(with_server(scenario))
+
+
+def test_facts_validation_is_atomic():
+    async def scenario(host, port, client):
+        key = await register(client)
+        baseline = await client.evaluate(key, "tropical")
+
+        # One bad item anywhere rejects the whole delta untouched.
+        try:
+            await client.facts(
+                key,
+                insert=[Fact("E", (7, 8))],
+                retract=[Fact("E", (9, 9))],
+            )
+        except ServerError as exc:
+            assert exc.status == 400
+        else:  # pragma: no cover
+            raise AssertionError("expected HTTP 400")
+
+        for bad in (
+            dict(insert=[Fact("T", (0, 1))]),  # IDB facts never stream
+            dict(),  # empty delta
+        ):
+            try:
+                await client.facts(key, **bad)
+            except ServerError as exc:
+                assert exc.status == 400
+            else:  # pragma: no cover
+                raise AssertionError("expected HTTP 400")
+
+        assert (await client.evaluate(key, "tropical")) == baseline
+
+    run(with_server(scenario))

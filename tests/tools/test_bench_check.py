@@ -202,3 +202,23 @@ def test_main_exit_codes(tmp_path):
     assert main([str(good), str(bad)]) == 1
     assert main([str(good), str(bad), "--threshold", "0.8"]) == 0
     assert main([str(tmp_path / "BENCH_missing.json")]) == 0  # skip, not crash
+
+
+def test_incremental_record_scores_on_speedup(tmp_path):
+    # The shape bench_incremental.py appends: speedup is the gate
+    # score, the per-event timings ride along as telemetry.
+    shaped = record(
+        "incremental/streaming_tc",
+        smoke=False,
+        speedup=7.5,
+        maintained_ms=820.0,
+        recompute_ms=6150.0,
+        events=200,
+    )
+    assert score_of(shaped) == 7.5
+    path = write_trajectory(
+        tmp_path / "BENCH_incremental.json",
+        [shaped, record("incremental/streaming_tc", speedup=2.0, events=200)],
+    )
+    failures, _ = check_trajectory(path, threshold=0.25)
+    assert failures and "incremental/streaming_tc" in failures[0]
