@@ -39,7 +39,7 @@ from .config import (
 from .constructions.auto import ConstructionChoice, provenance_circuit
 from .constructions.fringe import fringe_circuit
 from .constructions.generic import generic_circuit
-from .datalog.ast import Fact, Program
+from .datalog.ast import DatalogError, Fact, Program
 from .datalog.database import Database
 from .datalog.evaluation import EvaluationResult
 from .datalog.grounding import (
@@ -48,13 +48,14 @@ from .datalog.grounding import (
     columnar_grounding,
     relevant_grounding,
 )
-from .datalog.incremental import MaintainedFixpoint
+from .datalog.incremental import MaintainedFixpoint, MaintenancePolicy
 from .datalog.seminaive import FixpointEngine
 from .semirings import BOOLEAN
 from .semirings.base import Semiring
 
 __all__ = [
     "ExecutionConfig",
+    "MaintenancePolicy",
     "Session",
     "StreamSession",
     "solve",
@@ -229,7 +230,9 @@ class Session:
 
     # -- streaming -----------------------------------------------------
 
-    def stream(self, *semirings: Semiring) -> "StreamSession":
+    def stream(
+        self, *semirings: Semiring, policy: Optional[MaintenancePolicy] = None
+    ) -> "StreamSession":
         """The session's live write handle (lazily created, cached).
 
         Attaches a :class:`~repro.datalog.incremental.MaintainedFixpoint`
@@ -240,12 +243,16 @@ class Session:
         and circuits served through :meth:`StreamSession.serve`
         receive leaf-level pushes.  Pass the semirings to maintain
         dense value state for (more can be tracked later).
+
+        *policy* (first call only) arms the maintenance watchdogs; a
+        budget trip degrades the stream to full recompute instead of
+        surfacing the error (DESIGN.md §12).
         """
         if self._stream is None:
-            self._stream = StreamSession(self, semirings)
+            self._stream = StreamSession(self, semirings, policy)
         else:
             for semiring in semirings:
-                self._stream.fixpoint.track(semiring)
+                self._stream.track(semiring)
         return self._stream
 
 
@@ -322,44 +329,207 @@ class StreamSession:
     * :meth:`assignment` completes the database valuation with
       semiring zeros for retracted facts that older compiled circuits
       still reference, so binding them never KeyErrors.
+
+    **Degrade-to-recompute** (DESIGN.md §12): if maintenance ever
+    fails -- a watchdog budget trips, a non-stable semiring diverges,
+    or the maintainer crashes mid-propagation -- the stream *detaches*
+    the broken maintainer and degrades: reads fall back to full
+    recompute through :meth:`Session.solve` and writes apply straight
+    to the database.  Answers stay exactly correct, only slower.  The
+    next write attempts one clean rebuild of the maintainer from
+    current database state and re-attaches on success.  Degradations
+    are counted (``degradations``/``degraded``/``last_degrade_reason``)
+    and surfaced in the server's ``/stats``.
     """
 
-    def __init__(self, session: Session, semirings: Tuple[Semiring, ...] = ()):
+    def __init__(
+        self,
+        session: Session,
+        semirings: Tuple[Semiring, ...] = (),
+        policy: Optional[MaintenancePolicy] = None,
+    ):
         self.session = session
-        self.fixpoint = MaintainedFixpoint(
-            session.program, session.database, semirings=semirings
-        )
+        self.policy = policy
+        self._semirings: list[Semiring] = list(semirings)
         self._zeroed: set[Fact] = set()
         self._served: list[ServedStream] = []
+        self.fixpoint: Optional[MaintainedFixpoint] = None
+        self.degraded = False
+        self.degradations = 0
+        self.last_degrade_reason: Optional[str] = None
+        try:
+            self._attach()
+        except Exception as exc:
+            # Even the initial build degrades instead of failing the
+            # stream: reads recompute, the next write retries attach.
+            self._degrade(exc)
+
+    # -- maintainer lifecycle ------------------------------------------
+
+    def _attach(self) -> None:
+        """One clean build: fresh maintainer over current database state."""
+        session = self.session
+        self.fixpoint = MaintainedFixpoint(
+            session.program,
+            session.database,
+            semirings=tuple(self._semirings),
+            policy=self.policy,
+        )
         session._ground = self.fixpoint.cground
         self.fixpoint.add_listener(self._on_delta)
+        self.degraded = False
+
+    def _degrade(self, exc: BaseException) -> None:
+        """Detach the (possibly inconsistent) maintainer and fall back
+        to recompute.  The database itself is never suspect -- its
+        mutations land before maintainers are notified -- so dropping
+        its delta-patched caches wholesale restores a clean slate."""
+        fixpoint = self.fixpoint
+        if fixpoint is not None:
+            fixpoint.remove_listener(self._on_delta)
+            fixpoint.detach()
+        self.fixpoint = None
+        self.degraded = True
+        self.degradations += 1
+        self.last_degrade_reason = f"{type(exc).__name__}: {exc}"
+        database = self.session.database
+        database._invalidate()
+        self._invalidate_session()
+        for served in tuple(self._served):
+            served.rebuilds += 1
+            served._build()
+
+    def _invalidate_session(self) -> None:
+        session = self.session
+        session._fingerprint = None
+        session._choices.clear()
+        session._ground = None
+
+    def _recover_then(self, kind: str, apply, fact: Fact, weight: object):
+        """The degraded write path: try one clean re-attach, then run
+        the write -- maintained again on success, plain on failure."""
+        try:
+            self._attach()
+        except Exception as exc:
+            self._degrade(exc)
+            result = apply()
+            self._after_degraded_write(kind, fact, weight)
+            return result
+        return self._maintained(kind, apply, fact, weight)
+
+    def _maintained(self, kind: str, apply, fact: Fact, weight: object):
+        """Run a write through the live maintainer; degrade on failure."""
+        try:
+            return apply()
+        except KeyError:
+            raise  # retracting an absent fact is a caller error, not a fault
+        except Exception as exc:
+            self._degrade(exc)
+            self._after_degraded_write(kind, fact, weight)
+            # The database mutation landed before maintenance failed
+            # (Database notifies observers last), so the write is
+            # already durable; report it as applied.
+            if kind == "insert":
+                return True
+            if kind == "retract":
+                return fact
+            return None
+
+    def _after_degraded_write(self, kind: str, fact: Fact, weight: object) -> None:
+        """Keep session artifacts + served circuits consistent for a
+        write that bypassed (or killed) the maintainer."""
+        self._invalidate_session()
+        if kind == "retract":
+            self._zeroed.add(fact)
+        else:
+            self._zeroed.discard(fact)
+        for served in tuple(self._served):
+            served._apply(kind, fact, weight)
 
     # -- writes --------------------------------------------------------
 
+    def _guard_idb(self, fact: Fact) -> None:
+        """IDB writes are a caller error, never a degrade trigger."""
+        if fact.predicate in self.session.program.idb_predicates:
+            raise DatalogError(
+                f"cannot mutate {fact}: {fact.predicate!r} is an IDB predicate "
+                f"of the streamed program (derived relations are maintained, "
+                f"not stored)"
+            )
+
     def insert(self, fact, *args, weight: object = None) -> bool:
         """Insert an EDB fact; True iff it was new."""
-        return self.fixpoint.insert(fact, *args, weight=weight)
+        coerced = fact if isinstance(fact, Fact) else Fact(fact, tuple(args))
+        self._guard_idb(coerced)
+        if self.fixpoint is None:
+            database = self.session.database
+            new = coerced not in database
+
+            def apply():
+                database.add_fact(coerced, weight)
+                return new
+
+            return self._recover_then("insert", apply, coerced, weight)
+        fixpoint = self.fixpoint
+        return self._maintained(
+            "insert", lambda: fixpoint.insert(coerced, weight=weight), coerced, weight
+        )
 
     def retract(self, fact, *args) -> Fact:
         """Retract an EDB fact; KeyError if absent."""
-        return self.fixpoint.retract(fact, *args)
+        coerced = fact if isinstance(fact, Fact) else Fact(fact, tuple(args))
+        self._guard_idb(coerced)
+        if self.fixpoint is None:
+            database = self.session.database
+            return self._recover_then(
+                "retract", lambda: database.retract_fact(coerced), coerced, None
+            )
+        fixpoint = self.fixpoint
+        return self._maintained(
+            "retract", lambda: fixpoint.retract(coerced), coerced, None
+        )
 
     def set_weight(self, fact: Fact, weight: object) -> None:
         """Change one EDB fact's annotation."""
-        self.session.database.set_weight(fact, weight)
+        self._guard_idb(fact)
+        database = self.session.database
+        if self.fixpoint is None:
+            return self._recover_then(
+                "weight", lambda: database.set_weight(fact, weight), fact, weight
+            )
+        return self._maintained(
+            "weight", lambda: database.set_weight(fact, weight), fact, weight
+        )
+
+    def track(self, semiring: Semiring) -> None:
+        """Maintain dense value state for one more semiring."""
+        if semiring not in self._semirings:
+            self._semirings.append(semiring)
+        if self.fixpoint is not None:
+            try:
+                self.fixpoint.track(semiring)
+            except Exception as exc:
+                self._degrade(exc)
 
     # -- reads ---------------------------------------------------------
 
     def value(self, fact: Fact, semiring: Semiring = BOOLEAN):
-        """Maintained value of one IDB fact (O(1) array read)."""
+        """Maintained value of one IDB fact (O(1) array read when
+        maintained; a cached full recompute when degraded)."""
+        if self.fixpoint is None:
+            return self.session.solve(semiring).value(fact)
         return self.fixpoint.value(fact, semiring)
 
     def values(self, semiring: Semiring = BOOLEAN) -> Dict[Fact, object]:
+        if self.fixpoint is None:
+            return dict(self.session.solve(semiring).values)
         return self.fixpoint.values(semiring)
 
     def result(self, semiring: Semiring = BOOLEAN, **kwargs) -> EvaluationResult:
         """Batch-equivalent :class:`EvaluationResult` (see
         :meth:`MaintainedFixpoint.result`)."""
+        if self.fixpoint is None:
+            return self.session.solve(semiring, **kwargs)
         return self.fixpoint.result(semiring, **kwargs)
 
     def assignment(self, semiring: Semiring) -> Dict[Fact, object]:

@@ -41,7 +41,9 @@ layer's ``/circuits/<key>/facts`` route -- observes maintained state.
 
 from __future__ import annotations
 
+import time
 from array import array
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..semirings.base import Semiring
@@ -60,7 +62,66 @@ from .grounding import (
 )
 from .seminaive import COLUMNAR, _columnar_fixpoint
 
-__all__ = ["MaintainedFixpoint"]
+__all__ = ["MaintainedFixpoint", "MaintenanceBudgetExceeded", "MaintenancePolicy"]
+
+
+class MaintenanceBudgetExceeded(DatalogError):
+    """A maintenance pass ran past its :class:`MaintenancePolicy` budget.
+
+    Raised by the watchdogs on :meth:`MaintainedFixpoint._propagate` /
+    :meth:`MaintainedFixpoint._refresh`; callers that serve live
+    traffic (:class:`repro.api.StreamSession`) treat it as a degrade
+    signal -- detach the maintainer, fall back to full recompute --
+    rather than an error to surface (DESIGN.md §12).
+    """
+
+    def __init__(self, site: str, detail: str):
+        super().__init__(f"maintenance budget exceeded at {site}: {detail}")
+        self.site = site
+
+
+@dataclass(frozen=True)
+class MaintenancePolicy:
+    """Watchdog budgets for a :class:`MaintainedFixpoint`.
+
+    ``None`` disables the corresponding guard (the default: batch
+    workloads should not pay watchdog overhead).  A serving stack
+    passes finite budgets so a poisoned update -- a delta whose dirty
+    cone is pathologically large, or a semiring oscillating inside it
+    -- trips :class:`MaintenanceBudgetExceeded` instead of wedging the
+    event loop.
+
+    *fault_hook*, when set, is called with a site name at every
+    watchdog tick (``"propagate.round"``, ``"refresh"``,
+    ``"reground.round"``); the fault-injection harness
+    (:mod:`repro.testing.faults`) uses it to crash the maintainer
+    mid-stream deterministically.  Whatever the hook raises propagates
+    exactly like a budget trip.
+    """
+
+    #: Wall-clock budget for one delta's restricted propagation.
+    max_propagate_seconds: Optional[float] = None
+    #: Round cap for one delta's restricted propagation (tighter than
+    #: the divergence self-heal cap, which *refreshes* instead of
+    #: raising).
+    max_propagate_rounds: Optional[int] = None
+    #: Wall-clock budget for one full-kernel refresh (checked after
+    #: the kernel run -- the exec-generated loop is uninterruptible --
+    #: so a too-slow refresh degrades the *next* maintenance step).
+    max_refresh_seconds: Optional[float] = None
+    #: Wall-clock budget for one delta's incremental regrounding.
+    max_reground_seconds: Optional[float] = None
+    #: Fault-injection tap; called at every watchdog tick.
+    fault_hook: Optional[Callable[[str], None]] = None
+
+    def tick(self, site: str, started: float, budget: Optional[float]) -> None:
+        """One watchdog check: fault tap first, then the clock."""
+        if self.fault_hook is not None:
+            self.fault_hook(site)
+        if budget is not None and time.monotonic() - started > budget:
+            raise MaintenanceBudgetExceeded(
+                site, f"exceeded {budget:.3f}s wall-clock budget"
+            )
 
 
 def _coerce_fact(fact, args: Tuple) -> Fact:
@@ -120,9 +181,11 @@ class MaintainedFixpoint:
         database: Database,
         semirings: Iterable[Semiring] = (),
         attach: bool = True,
+        policy: Optional[MaintenancePolicy] = None,
     ):
         self.program = program
         self.database = database
+        self.policy = policy if policy is not None else MaintenancePolicy()
         self._idbs = program.idb_predicates
         #: The live id-space grounding; starts as the batch grounder's
         #: output and is appended to / pruned in place from then on.
@@ -418,7 +481,10 @@ class MaintainedFixpoint:
         store = self.store
         stats = _stats()
         derived = self._derived
+        policy = self.policy
+        started = time.monotonic()
         while True:
+            policy.tick("reground.round", started, policy.max_reground_seconds)
             deltas = store.deltas_since(mark)
             if not deltas:
                 return
@@ -545,12 +611,20 @@ class MaintainedFixpoint:
         rule_head = cground.rule_head
         head_rules, body_rules = self._head_rules, self._body_rules
         cap = self._round_cap()
+        policy = self.policy
+        round_cap = policy.max_propagate_rounds
+        started = time.monotonic()
         dirty = set(dirty_positions)
         rounds = 0
         while dirty:
             if rounds >= cap:
                 self._refresh(tracked)
                 return
+            policy.tick("propagate.round", started, policy.max_propagate_seconds)
+            if round_cap is not None and rounds >= round_cap:
+                raise MaintenanceBudgetExceeded(
+                    "propagate.round", f"exceeded {round_cap} round budget"
+                )
             rounds += 1
             heads = set()
             for position in dirty:
@@ -573,12 +647,21 @@ class MaintainedFixpoint:
 
     def _refresh(self, tracked: _Tracked) -> None:
         """Rebuild one semiring's state with a full kernel run over the
-        maintained grounding (initial tracking + divergence fallback)."""
+        maintained grounding (initial tracking + divergence fallback).
+
+        The watchdog tick runs *before and after* the kernel: the
+        exec-generated loop itself is uninterruptible, so the wall
+        clock check after it catches a refresh that blew its budget
+        and raises before the (consistent) state is used to serve."""
+        policy = self.policy
+        started = time.monotonic()
+        policy.tick("refresh", started, policy.max_refresh_seconds)
         semiring = tracked.semiring
         cground = self.cground
         value, _, converged, _ = _columnar_fixpoint(
             cground, semiring, self._edb_valuation(semiring), self._round_cap()
         )
+        policy.tick("refresh", started, policy.max_refresh_seconds)
         tracked.value = value
         tracked.converged = converged
         mul, one = semiring.mul, semiring.one

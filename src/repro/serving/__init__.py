@@ -12,22 +12,42 @@ service here:
   ``(program fingerprint, database fingerprint, construction)``;
 * :class:`~repro.serving.client.CircuitClient` -- a stdlib asyncio
   client speaking the same wire format, used by the tests and
-  ``benchmarks/bench_serving.py``.
+  ``benchmarks/bench_serving.py``;
+* :mod:`~repro.serving.resilience` -- the failure model (DESIGN.md
+  §12): request deadlines, load shedding, idempotent mutation replay
+  and the shed/timeout counters, configured by
+  :class:`~repro.serving.resilience.ResilienceConfig` and paired on
+  the client side by :class:`~repro.serving.client.RetryPolicy`.
 
 Everything is standard library only: the HTTP/1.1 framing is
 hand-rolled over ``asyncio`` streams, so the server runs wherever the
 engine does.
 """
 
-from .batcher import BatcherStats, LaneBatcher
-from .client import CircuitClient, ServerError
-from .server import CircuitServer, ServingError
+from .batcher import BatcherClosed, BatcherStats, LaneBatcher
+from .client import CircuitClient, RetryPolicy, ServerError
+from .resilience import (
+    Deadline,
+    DeadlineExceeded,
+    IdempotencyCache,
+    ResilienceConfig,
+    ResilienceStats,
+)
+from .server import DEFAULT_MAINTENANCE_POLICY, CircuitServer, ServingError
 
 __all__ = [
+    "BatcherClosed",
     "BatcherStats",
     "LaneBatcher",
     "CircuitClient",
     "CircuitServer",
+    "Deadline",
+    "DeadlineExceeded",
+    "DEFAULT_MAINTENANCE_POLICY",
+    "IdempotencyCache",
+    "ResilienceConfig",
+    "ResilienceStats",
+    "RetryPolicy",
     "ServerError",
     "ServingError",
 ]

@@ -23,7 +23,11 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-__all__ = ["BatcherStats", "LaneBatcher"]
+__all__ = ["BatcherClosed", "BatcherStats", "LaneBatcher"]
+
+
+class BatcherClosed(RuntimeError):
+    """Raised into futures still parked when the batcher closes."""
 
 
 class BatcherStats:
@@ -86,6 +90,14 @@ class LaneBatcher:
 
     A flush exception is fanned out to every future in that batch;
     later batches are unaffected.
+
+    Lifecycle: every flush path -- lane-full, timer, :meth:`flush_now`
+    and :meth:`close` -- cancels the armed timer before running, so a
+    batch is never flushed twice and no stale ``call_later`` handle
+    outlives its batch.  :meth:`close` additionally *fails* whatever
+    is still parked with :class:`BatcherClosed` instead of leaving the
+    futures pending forever: the server's graceful shutdown drains
+    what it can first, then closes.
     """
 
     def __init__(
@@ -103,9 +115,12 @@ class LaneBatcher:
         self.max_delay = max_delay
         self._pending: List[tuple] = []
         self._timer: Optional[asyncio.TimerHandle] = None
+        self._closed = False
         self.stats = BatcherStats(lane_width)
 
     async def submit(self, item: Any) -> Any:
+        if self._closed:
+            raise BatcherClosed("batcher is closed; the server is shutting down")
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._pending.append((item, future))
@@ -119,14 +134,37 @@ class LaneBatcher:
         """Run whatever is queued immediately (shutdown/drain path)."""
         self._flush("drain")
 
+    def close(self, exc: Optional[BaseException] = None) -> None:
+        """Cancel the armed timer and fail every parked future.
+
+        After close, :meth:`submit` raises immediately.  *exc* defaults
+        to :class:`BatcherClosed`; the server's shutdown passes its own
+        message so a waiter sees *why* its query died.
+        """
+        self._closed = True
+        self._cancel_timer()
+        pending, self._pending = self._pending, []
+        error = exc if exc is not None else BatcherClosed("batcher closed with queries parked")
+        for _, future in pending:
+            if not future.done():
+                future.set_exception(error)
+
     @property
     def pending(self) -> int:
         return len(self._pending)
 
-    def _flush(self, trigger: str) -> None:
+    @property
+    def timer_armed(self) -> bool:
+        """True iff a ``call_later`` flush timer is currently live."""
+        return self._timer is not None
+
+    def _cancel_timer(self) -> None:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+
+    def _flush(self, trigger: str) -> None:
+        self._cancel_timer()
         pending, self._pending = self._pending, []
         if not pending:
             return

@@ -22,9 +22,24 @@ subsequent query is pure circuit evaluation:
   fixpoint regrounds differentially, retracted leaves are served as
   semiring ``0`` to the existing circuit, and only an insert that
   creates a leaf the compiled circuit has never seen triggers a
-  recompile (reported as ``"recompiled": true``);
+  recompile (reported as ``"recompiled": true``).  A body carrying
+  ``"idempotency_key"`` is applied at most once per (circuit, token);
+  repeats replay the recorded response with ``"replayed": true``;
 * ``POST /solve`` -- one-shot fixpoint evaluation (no circuit cache),
   with divergence reported as HTTP 422.
+
+**Failure model** (DESIGN.md §12): every request phase runs under a
+wall-clock deadline from the :class:`~repro.serving.resilience.
+ResilienceConfig` -- header read (slow-loris safe), body read, and the
+handler itself (expiry maps to 504).  Declared bodies above
+``max_body_bytes`` are rejected with 413 before reading; connections
+and in-flight requests beyond the admission limits are *shed* with
+503 + ``Retry-After`` instead of queueing unboundedly.  ``/healthz``
+is pure liveness; ``/readyz`` reports readiness (503 while draining).
+``close()`` drains: it stops accepting, flushes parked lane futures
+through the kernel so in-flight queries complete, then fails whatever
+remains instead of abandoning it.  Shed/timeout/error counters are
+surfaced under ``/stats`` ``"resilience"``.
 
 The HTTP/1.1 framing is hand-rolled over ``asyncio`` streams -- no
 third-party web stack -- and supports keep-alive, so a client holds
@@ -39,18 +54,23 @@ objects; errors are ``{"error": ...}`` with a 4xx/5xx status.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import hashlib
 import json
+import time
 from collections import OrderedDict
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Awaitable, Dict, List, Mapping, Optional, Set, Tuple, TypeVar
 
 from ..api import Session
 from ..config import ExecutionConfig
-from .batcher import LaneBatcher
+from .batcher import BatcherClosed, LaneBatcher
+from .resilience import Deadline, IdempotencyCache, ResilienceConfig, ResilienceStats
 from ..datalog.ast import DatalogError, Fact
 from ..datalog.database import Database
 from ..datalog.evaluation import DivergenceError
+from ..datalog.incremental import MaintenancePolicy
 from ..datalog.parser import parse_atom, parse_program
+from ..testing.faults import FLUSH_RAISE, FLUSH_SLOW, HANDLER_STALL, PARTIAL_WRITE, SOCKET_RESET
 from ..semirings import (
     ARCTIC,
     BOOLEAN,
@@ -63,7 +83,7 @@ from ..semirings import (
     VITERBI,
 )
 
-__all__ = ["CircuitServer", "ServingError", "SEMIRINGS"]
+__all__ = ["CircuitServer", "ServingError", "SEMIRINGS", "DEFAULT_MAINTENANCE_POLICY"]
 
 #: Wire name → semiring singleton.  Only semirings whose values survive
 #: a JSON round-trip are exposed over HTTP.
@@ -79,13 +99,28 @@ SEMIRINGS = {
     "arctic": ARCTIC,
 }
 
+#: The server's default maintenance watchdogs: generous enough that no
+#: healthy delta ever trips them, finite so a poisoned update degrades
+#: the circuit to recompute instead of wedging the event loop.
+DEFAULT_MAINTENANCE_POLICY = MaintenancePolicy(
+    max_propagate_seconds=5.0,
+    max_refresh_seconds=10.0,
+    max_reground_seconds=5.0,
+)
+
 _REASONS = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
+    408: "Request Timeout",
+    413: "Payload Too Large",
     422: "Unprocessable Entity",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+_T = TypeVar("_T")
 
 
 class ServingError(Exception):
@@ -142,12 +177,29 @@ class _CircuitEntry:
         "base_valuations",
         "queries",
         "stream",
+        "faults",
+        "policy",
+        "lane_width",
+        "max_delay",
     )
 
-    def __init__(self, key: str, session: Session, output: Fact, lane_width: int, max_delay: float):
+    def __init__(
+        self,
+        key: str,
+        session: Session,
+        output: Fact,
+        lane_width: int,
+        max_delay: float,
+        faults=None,
+        policy: Optional[MaintenancePolicy] = None,
+    ):
         self.key = key
         self.session = session
         self.output = output
+        self.faults = faults
+        self.policy = policy
+        self.lane_width = lane_width
+        self.max_delay = max_delay
         self.choice = session.circuit(output)
         self.compiled = self.choice.compiled()
         self.boolean_batcher = LaneBatcher(self._boolean_flush, lane_width=lane_width, max_delay=max_delay)
@@ -161,7 +213,14 @@ class _CircuitEntry:
         # StreamSession write handle; attached on the first facts delta.
         self.stream = None
 
+    def _fault_gate(self) -> None:
+        """Fault-injection tap shared by every flush kernel."""
+        if self.faults is not None:
+            self.faults.stall_sync(FLUSH_SLOW)
+            self.faults.check(FLUSH_RAISE)
+
     def _boolean_flush(self, batches: List) -> List[bool]:
+        self._fault_gate()
         return self.compiled.evaluate_boolean_batch(batches)
 
     def base_valuation(self, name: str, semiring) -> Dict[Fact, object]:
@@ -176,16 +235,20 @@ class _CircuitEntry:
 
     def get_stream(self):
         if self.stream is None:
-            self.stream = self.session.stream()
+            self.stream = self.session.stream(policy=self.policy)
         return self.stream
 
-    def numeric_batcher(self, name: str, semiring, lane_width: int, max_delay: float) -> "LaneBatcher":
+    def batchers(self) -> List[LaneBatcher]:
+        return [self.boolean_batcher, *self.numeric_batchers.values()]
+
+    def numeric_batcher(self, name: str, semiring) -> "LaneBatcher":
         batcher = self.numeric_batchers.get(name)
         if batcher is None:
             def flush(assignments: List) -> List:
+                self._fault_gate()
                 return self.compiled.evaluate_batch(semiring, assignments)
 
-            batcher = LaneBatcher(flush, lane_width=lane_width, max_delay=max_delay)
+            batcher = LaneBatcher(flush, lane_width=self.lane_width, max_delay=self.max_delay)
             self.numeric_batchers[name] = batcher
         return batcher
 
@@ -198,7 +261,7 @@ class _CircuitEntry:
         return session
 
     def stats(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "construction": self.choice.construction,
             "size": self.compiled.size,
             "queries": self.queries,
@@ -209,6 +272,13 @@ class _CircuitEntry:
             },
             "update_sessions": sorted(self.incremental),
         }
+        if self.stream is not None:
+            payload["stream"] = {
+                "degraded": self.stream.degraded,
+                "degradations": self.stream.degradations,
+                "last_degrade_reason": self.stream.last_degrade_reason,
+            }
+        return payload
 
 
 class CircuitServer:
@@ -219,6 +289,13 @@ class CircuitServer:
     pipeline is skipped), and the least-recently-used entry is evicted
     past the bound.  ``lane_width``/``max_delay`` set the micro-batching
     policy shared by every entry's Boolean and numeric batchers.
+
+    ``resilience`` carries the failure-model knobs (defaults on -- see
+    :class:`~repro.serving.resilience.ResilienceConfig`);
+    ``maintenance_policy`` arms the fact-stream watchdogs (defaults to
+    :data:`DEFAULT_MAINTENANCE_POLICY`); ``fault_injector`` is the
+    test-only seeded chaos tap (:mod:`repro.testing.faults`) -- pass
+    ``None`` (the default) in production.
 
     Usage::
 
@@ -237,6 +314,9 @@ class CircuitServer:
         max_circuits: int = 32,
         lane_width: int = 64,
         max_delay: float = 0.002,
+        resilience: Optional[ResilienceConfig] = None,
+        maintenance_policy: Optional[MaintenancePolicy] = None,
+        fault_injector=None,
     ):
         if max_circuits < 1:
             raise ValueError("max_circuits must be positive")
@@ -245,8 +325,20 @@ class CircuitServer:
         self.max_circuits = max_circuits
         self.lane_width = lane_width
         self.max_delay = max_delay
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        self.fault_injector = fault_injector
+        policy = maintenance_policy if maintenance_policy is not None else DEFAULT_MAINTENANCE_POLICY
+        if fault_injector is not None and policy.fault_hook is None:
+            policy = dataclasses.replace(policy, fault_hook=fault_injector.maintenance_hook())
+        self.maintenance_policy = policy
+        self.res_stats = ResilienceStats()
+        self._idempotency = IdempotencyCache(self.resilience.idempotency_cache_size)
         self._server: Optional[asyncio.AbstractServer] = None
         self._circuits: "OrderedDict[str, _CircuitEntry]" = OrderedDict()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._conn_tasks: Set["asyncio.Task"] = set()
+        self._inflight = 0
+        self._draining = False
         self.cache_hits = 0
         self.cache_misses = 0
         self.evictions = 0
@@ -257,21 +349,53 @@ class CircuitServer:
     async def start(self) -> Tuple[str, int]:
         if self._server is not None:
             raise RuntimeError("server already started")
+        self._draining = False
         self._server = await asyncio.start_server(self._handle_connection, self.host, self.port)
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
         return self.host, self.port
 
     async def close(self) -> None:
+        """Graceful shutdown: stop accepting, drain, then tear down.
+
+        Parked lane futures are *flushed through the kernel* so every
+        in-flight query still gets its (correct) answer; only work
+        that arrives after the drain fails, with :class:`BatcherClosed`
+        -- nothing is left pending forever.
+        """
         if self._server is None:
             return
+        self._draining = True
         self._server.close()
         await self._server.wait_closed()
-        self._server = None
+        # Flush whatever is parked so in-flight handlers can finish.
         for entry in self._circuits.values():
-            entry.boolean_batcher.flush_now()
-            for batcher in entry.numeric_batchers.values():
+            for batcher in entry.batchers():
+                if batcher.pending:
+                    self.res_stats.bump("drained_futures", batcher.pending)
                 batcher.flush_now()
+        # Give in-flight handlers their grace period to write responses.
+        deadline = time.monotonic() + self.resilience.shutdown_grace
+        while self._inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.005)
+        # Anything still parked (arrived during the drain) fails loudly.
+        for entry in self._circuits.values():
+            for batcher in entry.batchers():
+                if batcher.pending:
+                    self.res_stats.bump("failed_futures", batcher.pending)
+                batcher.close(BatcherClosed("server shut down while the query was queued"))
+        # Cancel connections that outlived the grace period (idle
+        # keep-alives included) and wait for their handlers, so no
+        # task survives into event-loop teardown.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        self._conn_tasks.clear()
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+        self._server = None
 
     async def __aenter__(self) -> Tuple[str, int]:
         return await self.start()
@@ -284,47 +408,160 @@ class CircuitServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            # Server shutdown cancelled the connection mid-read; the
+            # in-flight work already got its grace period in close().
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        cfg = self.resilience
+        if self._draining or len(self._writers) >= cfg.max_connections:
+            self.res_stats.bump("shed_connections")
+            try:
+                await self._write_response(
+                    writer,
+                    503,
+                    {
+                        "error": "shedding load: connection capacity reached"
+                        if not self._draining
+                        else "server is draining",
+                        "retry_after": cfg.retry_after,
+                    },
+                    keep_alive=False,
+                    retry_after=cfg.retry_after,
+                )
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            finally:
+                writer.close()
+            return
+        self._writers.add(writer)
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except ServingError as exc:
+                    # A framing error poisons the stream: respond once
+                    # and close rather than resynchronize.
+                    await self._write_response(
+                        writer, exc.status, {"error": str(exc)}, keep_alive=False
+                    )
+                    break
                 if request is None:
                     break
                 method, path, body, keep_alive = request
+                if self._draining:
+                    keep_alive = False
                 self.requests += 1
-                status, payload = await self._dispatch(method, path, body)
-                await self._write_response(writer, status, payload, keep_alive)
+                if self._inflight >= cfg.max_inflight:
+                    self.res_stats.bump("shed_requests")
+                    await self._write_response(
+                        writer,
+                        503,
+                        {
+                            "error": "shedding load: too many requests in flight",
+                            "retry_after": cfg.retry_after,
+                        },
+                        keep_alive,
+                        retry_after=cfg.retry_after,
+                    )
+                    if not keep_alive:
+                        break
+                    continue
+                self._inflight += 1
+                try:
+                    status, payload = await self._dispatch_with_deadline(method, path, body)
+                finally:
+                    self._inflight -= 1
+                retry_after = cfg.retry_after if status == 503 else None
+                await self._write_response(writer, status, payload, keep_alive, retry_after=retry_after)
                 if not keep_alive:
                     break
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
-            pass
-        finally:
-            # No await after close(): the handler task may be getting
-            # cancelled by server shutdown, and awaiting wait_closed()
-            # here would surface that as loop-callback noise.
-            writer.close()
+            self.res_stats.bump("disconnects")
+
+    async def _bounded(
+        self, awaitable: Awaitable[_T], deadline: Optional[Deadline]
+    ) -> _T:
+        if deadline is None:
+            return await awaitable
+        remaining = deadline.remaining()
+        if remaining <= 0:
+            raise asyncio.TimeoutError
+        return await asyncio.wait_for(awaitable, remaining)
 
     async def _read_request(
         self, reader: asyncio.StreamReader
     ) -> Optional[Tuple[str, str, Optional[dict], bool]]:
-        request_line = await reader.readline()
+        cfg = self.resilience
+        header_deadline = cfg.deadline("header")
+        try:
+            request_line = await self._bounded(reader.readline(), header_deadline)
+        except asyncio.TimeoutError:
+            # Idle keep-alive or a slow-loris request line: either way
+            # no request ever materialized; close without a response.
+            self.res_stats.bump("header_timeouts")
+            return None
         if not request_line:
             return None
         try:
             method, path, _version = request_line.decode("latin-1").split()
         except ValueError:
+            self.res_stats.bump("bad_requests")
             raise ServingError(400, "malformed request line")
         headers: Dict[str, str] = {}
         while True:
-            line = await reader.readline()
+            try:
+                line = await self._bounded(reader.readline(), header_deadline)
+            except asyncio.TimeoutError:
+                # Slow-loris: the request started but its headers
+                # dribble; the deadline caps the read.
+                self.res_stats.bump("header_timeouts")
+                raise ServingError(408, f"headers not received within {cfg.header_timeout}s")
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
         keep_alive = headers.get("connection", "keep-alive").lower() != "close"
         body: Optional[dict] = None
-        length = int(headers.get("content-length", "0"))
+        raw_length = headers.get("content-length", "0")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            self.res_stats.bump("bad_requests")
+            raise ServingError(400, f"malformed Content-Length {raw_length!r}")
+        if length < 0:
+            self.res_stats.bump("bad_requests")
+            raise ServingError(400, f"negative Content-Length {raw_length!r}")
+        if length > cfg.max_body_bytes:
+            self.res_stats.bump("oversize_rejections")
+            raise ServingError(
+                413,
+                f"declared body of {length} bytes exceeds the "
+                f"{cfg.max_body_bytes}-byte limit",
+            )
         if length:
-            raw = await reader.readexactly(length)
+            try:
+                raw = await self._bounded(
+                    reader.readexactly(length), cfg.deadline("body")
+                )
+            except asyncio.TimeoutError:
+                self.res_stats.bump("body_timeouts")
+                raise ServingError(
+                    408, f"body of {length} bytes not received within {cfg.body_timeout}s"
+                )
             try:
                 body = json.loads(raw)
             except json.JSONDecodeError as exc:
@@ -332,28 +569,68 @@ class CircuitServer:
         return method.upper(), path, body, keep_alive
 
     async def _write_response(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict, keep_alive: bool
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool,
+        retry_after: Optional[float] = None,
     ) -> None:
         data = json.dumps(payload).encode()
+        extra = f"Retry-After: {retry_after}\r\n" if retry_after is not None else ""
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extra}"
             "\r\n"
         ).encode("latin-1")
-        writer.write(head + data)
+        blob = head + data
+        faults = self.fault_injector
+        if faults is not None:
+            if faults.fires(SOCKET_RESET):
+                writer.transport.abort()
+                raise ConnectionResetError("injected socket reset before response")
+            if faults.fires(PARTIAL_WRITE):
+                writer.write(blob[: max(1, len(blob) // 2)])
+                try:
+                    await writer.drain()
+                finally:
+                    writer.transport.abort()
+                raise ConnectionResetError("injected partial response write")
+        writer.write(blob)
         await writer.drain()
 
     # -- routing -------------------------------------------------------
 
+    async def _dispatch_with_deadline(
+        self, method: str, path: str, body: Optional[dict]
+    ) -> Tuple[int, dict]:
+        cfg = self.resilience
+        deadline = cfg.deadline("handler")
+        try:
+            return await self._bounded(self._dispatch(method, path, body), deadline)
+        except asyncio.TimeoutError:
+            self.res_stats.bump("handler_timeouts")
+            return 504, {
+                "error": f"handler exceeded its {cfg.handler_timeout}s budget",
+                "phase": "handler",
+            }
+
     async def _dispatch(self, method: str, path: str, body: Optional[dict]) -> Tuple[int, dict]:
         if isinstance(body, dict) and "__malformed__" in body:
             return 400, {"error": f"request body is not valid JSON: {body['__malformed__']}"}
+        if self.fault_injector is not None:
+            await self.fault_injector.stall_async(HANDLER_STALL)
         try:
             parts = [p for p in path.split("/") if p]
             if method == "GET" and parts == ["healthz"]:
-                return 200, {"status": "ok"}
+                return 200, {"status": "ok", "draining": self._draining}
+            if method == "GET" and parts == ["readyz"]:
+                if self._draining:
+                    return 503, {"status": "draining", "ready": False}
+                return 200, {"status": "ok", "ready": True}
             if method == "GET" and parts == ["stats"]:
                 return 200, self._stats()
             if method == "POST" and parts == ["solve"]:
@@ -370,15 +647,18 @@ class CircuitServer:
                 if action == "update":
                     return 200, self._update(entry, self._require_body(body))
                 if action == "facts":
-                    return 200, self._facts(entry, self._require_body(body))
+                    return self._facts_idempotent(entry, self._require_body(body))
             return 404, {"error": f"no route for {method} {path}"}
         except ServingError as exc:
             return exc.status, {"error": str(exc)}
+        except BatcherClosed as exc:
+            return 503, {"error": f"shutting down: {exc}"}
         except DivergenceError as exc:
             return 422, {"error": f"fixpoint diverged: {exc}"}
         except (DatalogError, KeyError, TypeError, ValueError) as exc:
             return 400, {"error": f"{type(exc).__name__}: {exc}"}
-        except Exception as exc:  # pragma: no cover - defensive
+        except Exception as exc:  # never a torn connection for a handler bug
+            self.res_stats.bump("internal_errors")
             return 500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
 
     @staticmethod
@@ -432,10 +712,21 @@ class CircuitServer:
             self._circuits.move_to_end(key)
         else:
             self.cache_misses += 1
-            entry = _CircuitEntry(key, session, output, self.lane_width, self.max_delay)
+            entry = _CircuitEntry(
+                key,
+                session,
+                output,
+                self.lane_width,
+                self.max_delay,
+                faults=self.fault_injector,
+                policy=self.maintenance_policy,
+            )
             self._circuits[key] = entry
             while len(self._circuits) > self.max_circuits:
-                self._circuits.popitem(last=False)
+                _, evicted = self._circuits.popitem(last=False)
+                for batcher in evicted.batchers():
+                    batcher.flush_now()
+                    batcher.close()
                 self.evictions += 1
         return {
             "key": key,
@@ -471,7 +762,7 @@ class CircuitServer:
             return {"values": values}
         assignment = dict(base)
         assignment.update(_parse_weights(body.get("weights"), "'weights'"))
-        batcher = entry.numeric_batcher(name, semiring, self.lane_width, self.max_delay)
+        batcher = entry.numeric_batcher(name, semiring)
         value = await batcher.submit(assignment)
         return {"value": value}
 
@@ -486,6 +777,23 @@ class CircuitServer:
         except KeyError as exc:
             raise ServingError(400, f"delta touches a fact with no input gate: {exc}") from exc
         return {"outputs": outputs, "cone_size": session.last_cone_size}
+
+    def _facts_idempotent(self, entry: _CircuitEntry, body: Mapping[str, Any]) -> Tuple[int, dict]:
+        """The ``/facts`` route behind its idempotency-token dedupe."""
+        token = body.get("idempotency_key")
+        if token is not None:
+            if not isinstance(token, str) or not token:
+                raise ServingError(400, "idempotency_key must be a non-empty string")
+            cached = self._idempotency.get(entry.key, token)
+            if cached is not None:
+                self.res_stats.bump("idempotent_replays")
+                return cached
+        payload = self._facts(entry, body)
+        if token is not None:
+            # Only a *completed* mutation is recorded: failures above
+            # raised out of this frame, so their retries re-execute.
+            self._idempotency.put(entry.key, token, 200, payload)
+        return 200, payload
 
     def _facts(self, entry: _CircuitEntry, body: Mapping[str, Any]) -> dict:
         inserts: List[Tuple[Fact, object]] = []
@@ -513,16 +821,22 @@ class CircuitServer:
         stream = entry.get_stream()
         known = entry.compiled.var_slots
         structural = any(fact not in known and fact not in database for fact, _ in inserts)
+        degradations_before = stream.degradations
         inserted = sum(stream.insert(fact, weight=weight) for fact, weight in inserts)
         for fact in retracts:
             stream.retract(fact)
         for fact, weight in weights.items():
             stream.set_weight(fact, weight)
+        degraded_now = stream.degradations > degradations_before
+        if degraded_now:
+            self.res_stats.bump("degraded_deltas")
         # Cached per-semiring state is built from the pre-delta valuation.
         entry.base_valuations.clear()
         entry.incremental.clear()
         recompiled = False
-        if structural:
+        if structural or degraded_now:
+            # A degraded delta rebuilds through full recompute: served
+            # answers stay exactly correct, only slower.
             entry.choice = entry.session.circuit(entry.output)
             entry.compiled = entry.choice.compiled()
             recompiled = True
@@ -531,6 +845,7 @@ class CircuitServer:
             "retracted": len(retracts),
             "reweighted": len(weights),
             "recompiled": recompiled,
+            "degraded": stream.degraded,
             "size": entry.compiled.size,
             "database_fingerprint": entry.session.fingerprint[1],
         }
@@ -559,10 +874,13 @@ class CircuitServer:
         lane_batches = sum(e.boolean_batcher.stats.batches for e in self._circuits.values())
         lane_items = sum(e.boolean_batcher.stats.items for e in self._circuits.values())
         fill = lane_items / (lane_batches * self.lane_width) if lane_batches else 0.0
+        streams = [e.stream for e in self._circuits.values() if e.stream is not None]
         return {
             "circuits": len(self._circuits),
             "max_circuits": self.max_circuits,
             "requests": self.requests,
+            "inflight": self._inflight,
+            "draining": self._draining,
             "cache": {
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
@@ -573,6 +891,13 @@ class CircuitServer:
                 "batches": lane_batches,
                 "items": lane_items,
                 "fill_ratio": round(fill, 4),
+            },
+            "resilience": self.res_stats.snapshot(),
+            "idempotency": self._idempotency.snapshot(),
+            "maintenance": {
+                "streams": len(streams),
+                "degraded_now": sum(1 for s in streams if s.degraded),
+                "degradations": sum(s.degradations for s in streams),
             },
             "per_circuit": per_circuit,
         }

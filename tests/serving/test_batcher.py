@@ -117,3 +117,67 @@ def test_empty_stats_report_zero_fill():
     snap = batcher.stats.snapshot()
     assert snap["fill_ratio"] == 0.0
     assert snap["batches"] == 0
+
+
+# -- lifecycle: timer hygiene and close (DESIGN.md §12) --------------------
+
+
+def test_full_lane_flush_disarms_the_timer():
+    async def scenario():
+        batcher = LaneBatcher(echo_flush, lane_width=4, max_delay=60.0)
+        submits = [asyncio.ensure_future(batcher.submit(i)) for i in range(3)]
+        await asyncio.sleep(0)
+        assert batcher.timer_armed  # straggler timer covers the partial lane
+        submits.append(asyncio.ensure_future(batcher.submit(3)))
+        await asyncio.gather(*submits)
+        # The lane-full flush must cancel the armed timer: no stale
+        # call_later handle may fire into the *next* batch.
+        assert not batcher.timer_armed
+
+    run(scenario())
+
+
+def test_flush_now_disarms_the_timer():
+    async def scenario():
+        batcher = LaneBatcher(echo_flush, lane_width=8, max_delay=60.0)
+        future = asyncio.ensure_future(batcher.submit("q"))
+        await asyncio.sleep(0)
+        assert batcher.timer_armed
+        batcher.flush_now()
+        assert not batcher.timer_armed
+        assert await future == ("seen", "q")
+
+    run(scenario())
+
+
+def test_close_fails_parked_futures_with_clear_error():
+    from repro.serving import BatcherClosed
+
+    async def scenario():
+        batcher = LaneBatcher(echo_flush, lane_width=8, max_delay=60.0)
+        parked = [asyncio.ensure_future(batcher.submit(i)) for i in range(3)]
+        await asyncio.sleep(0)
+        batcher.close()
+        assert not batcher.timer_armed
+        for future in parked:
+            with pytest.raises(BatcherClosed):
+                await future
+        # After close, submissions fail fast instead of parking forever.
+        with pytest.raises(BatcherClosed):
+            await batcher.submit("late")
+
+    run(scenario())
+
+
+def test_close_propagates_custom_exception():
+    from repro.serving import BatcherClosed
+
+    async def scenario():
+        batcher = LaneBatcher(echo_flush, lane_width=8, max_delay=60.0)
+        parked = asyncio.ensure_future(batcher.submit("q"))
+        await asyncio.sleep(0)
+        batcher.close(BatcherClosed("server shut down"))
+        with pytest.raises(BatcherClosed, match="server shut down"):
+            await parked
+
+    run(scenario())

@@ -1,0 +1,143 @@
+"""Connection-level failure behavior of the serving layer (§12).
+
+Three properties a hand-rolled HTTP server is most likely to get
+wrong, pinned as tests: a peer that vanishes mid-request never takes
+the server down with it; an application-level 4xx leaves the
+keep-alive connection usable (only *framing* errors poison the
+stream); and back-to-back pipelined requests on one connection are
+answered completely and in order.
+"""
+
+import asyncio
+import json
+
+from repro.serving import CircuitClient, CircuitServer
+
+TC = "T(X,Y) :- E(X,Y).\nT(X,Z) :- T(X,Y), E(Y,Z)."
+EDGES = ["E(0,1)", "E(1,2)", "E(2,3)", "E(0,2)"]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_server(scenario, **server_kwargs):
+    async with CircuitServer(**server_kwargs) as (host, port):
+        async with CircuitClient(host, port) as client:
+            return await scenario(host, port, client)
+
+
+def frame(method, path, payload=None):
+    body = b"" if payload is None else json.dumps(payload).encode()
+    return (
+        f"{method} {path} HTTP/1.1\r\nContent-Length: {len(body)}\r\n\r\n"
+    ).encode() + body
+
+
+async def read_one_response(reader):
+    """Read exactly one framed response; returns (status, payload)."""
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length)
+    return status, json.loads(body)
+
+
+def test_peer_disconnect_mid_request_leaves_server_healthy():
+    async def scenario(host, port, client):
+        # Declare a body, send half of it, vanish.
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b"POST /solve HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"pro")
+        await writer.drain()
+        writer.close()
+        await asyncio.sleep(0.05)
+        # And again with an abortive close mid-keep-alive.
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(frame("GET", "/healthz"))
+        await writer.drain()
+        await read_one_response(reader)
+        writer.transport.abort()
+        await asyncio.sleep(0.05)
+        # The server took no damage: normal traffic still works.
+        assert (await client.healthz())["status"] == "ok"
+        reg = await client.register(TC, EDGES, "T(0,3)", target="T")
+        assert await client.boolean(reg["key"], EDGES) is True
+
+    run(with_server(scenario))
+
+
+def test_keep_alive_survives_application_4xx():
+    async def scenario(host, port, client):
+        reader, writer = await asyncio.open_connection(host, port)
+        # 404: unknown route.
+        writer.write(frame("GET", "/nonsense"))
+        await writer.drain()
+        status, payload = await read_one_response(reader)
+        assert status == 404
+        # 400: known route, bad body.  Same connection.
+        writer.write(frame("POST", "/solve", {"program": ""}))
+        await writer.drain()
+        status, payload = await read_one_response(reader)
+        assert status == 400
+        # The connection is still perfectly usable for a 200.
+        writer.write(frame("GET", "/healthz"))
+        await writer.drain()
+        status, payload = await read_one_response(reader)
+        assert (status, payload["status"]) == (200, "ok")
+        writer.close()
+
+    run(with_server(scenario))
+
+
+def test_pipelined_requests_are_answered_in_order():
+    async def scenario(host, port, client):
+        reg = await client.register(TC, EDGES, "T(0,3)", target="T")
+        key = reg["key"]
+        reader, writer = await asyncio.open_connection(host, port)
+        # Three requests in one burst: healthz, a boolean batch, stats.
+        blob = (
+            frame("GET", "/healthz")
+            + frame("POST", f"/circuits/{key}/boolean", {"batches": [EDGES, EDGES[:2]]})
+            + frame("GET", "/healthz")
+        )
+        writer.write(blob)
+        await writer.drain()
+        status1, payload1 = await read_one_response(reader)
+        status2, payload2 = await read_one_response(reader)
+        status3, payload3 = await read_one_response(reader)
+        assert (status1, payload1["status"]) == (200, "ok")
+        assert (status2, payload2["values"]) == (200, [True, False])
+        assert (status3, payload3["status"]) == (200, "ok")
+        writer.close()
+
+    run(with_server(scenario))
+
+
+def test_interleaved_connections_make_independent_progress():
+    async def scenario(host, port, client):
+        reg = await client.register(TC, EDGES, "T(0,3)", target="T")
+        key = reg["key"]
+        # Many clients firing concurrently: every response matches its
+        # own query even though the lane batcher mixes them server-side.
+        clients = [CircuitClient(host, port) for _ in range(8)]
+        try:
+            expected = [i % 2 == 0 for i in range(8)]
+            results = await asyncio.gather(
+                *[
+                    c.boolean(key, EDGES if want else EDGES[:2])
+                    for c, want in zip(clients, expected)
+                ]
+            )
+            assert results == expected
+        finally:
+            for c in clients:
+                await c.close()
+
+    run(with_server(scenario))

@@ -38,7 +38,11 @@ async def with_server(scenario, **server_kwargs):
 
 def test_healthz_and_empty_stats():
     async def scenario(host, port, client):
-        assert (await client.healthz()) == {"status": "ok"}
+        health = await client.healthz()
+        assert health["status"] == "ok"
+        assert health["draining"] is False
+        ready = await client.readyz()
+        assert ready["ready"] is True
         stats = await client.stats()
         assert stats["circuits"] == 0
         assert stats["cache"] == {"hits": 0, "misses": 0, "evictions": 0}
@@ -279,7 +283,7 @@ def test_malformed_requests_return_400_not_a_dropped_connection():
         assert b"400" in status_line
         writer.close()
         # The keep-alive client connection is still healthy afterwards.
-        assert (await client.healthz()) == {"status": "ok"}
+        assert (await client.healthz())["status"] == "ok"
 
     run(with_server(scenario))
 
