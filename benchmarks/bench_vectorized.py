@@ -1,0 +1,232 @@
+"""Head-to-head: the vectorized NumPy backend vs the pure-Python kernels.
+
+The ``backend="vectorized"`` execution backend (DESIGN.md §13) replaces
+the two hot loops of the columnar engine with whole-column array
+expressions over ``np.frombuffer`` views of the CSR rule arrays:
+
+* the ``_columnar_fixpoint`` delta loop becomes per-rule gather →
+  ⊗-reduce over body slots → segment-⊕ scatter into head values;
+* ``evaluate_batch`` runs each maximal same-opcode instruction stream
+  of the compiled circuit as one array expression over the whole
+  assignment matrix.
+
+The ISSUE 9 acceptance bar, asserted at representative scale:
+
+* **≥ 3× wall-clock** on the columnar fixpoint for tropical
+  Bellman–Ford (TC shortest distances on random digraphs, ``m = 3n``)
+  at ``n ≥ 96``;
+* **≥ 2× wall-clock** on ``evaluate_batch`` over the provenance
+  circuit of the same workload.
+
+Every sweep point first cross-checks the two backends for exact
+equality -- identical fixpoint values, iterations, convergence and
+rule-evaluation counts; identical batch result vectors -- so the bench
+doubles as an equivalence test at sizes the unit suite doesn't reach.
+Results append to ``BENCH_vectorized.json`` via ``tools/bench_record``;
+each record is tagged ``"backend": "vectorized"`` so
+``tools/bench_check.py`` gates the trajectory per backend.  CI runs
+the bench in smoke mode on every PR (the ``.[test,perf]`` leg).
+
+Requires NumPy: the bench skips cleanly (pytest) or exits 0 (direct
+run) when the ``perf`` extra is not installed -- the no-numpy CI leg
+must stay green without it.
+
+Smoke mode (``BENCH_SMOKE=1``, set by CI) shrinks the sweeps but keeps
+the representative (largest) point and every assert.
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.bench_record import append_record  # noqa: E402
+
+from repro.api import Session  # noqa: E402
+from repro.backends import numpy_available  # noqa: E402
+from repro.config import ExecutionConfig  # noqa: E402
+from repro.datalog import columnar_grounding, transitive_closure  # noqa: E402
+from repro.datalog.seminaive import _columnar_fixpoint  # noqa: E402
+from repro.semirings import TROPICAL  # noqa: E402
+from repro.workloads import random_digraph, random_weights  # noqa: E402
+
+import pytest  # noqa: E402
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="requires the 'perf' extra (numpy)"
+)
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+ROUNDS = 2 if SMOKE else 4  # best-of repetitions per timing
+
+TC = transitive_closure()
+
+# Representative scale is where the acceptance bars are asserted: past
+# the fixed per-call overhead (ufunc-spec lookup, frombuffer views,
+# batch-plan compile) both paths are array-op / interpreter-loop
+# dominated.  Smoke keeps the largest point for exactly that reason.
+FIXPOINT_SWEEP = (48, 96) if SMOKE else (48, 96, 144)
+FIXPOINT_REPRESENTATIVE = 96
+FIXPOINT_BAR = 3.0
+
+BATCH_N = 96
+BATCH_SWEEP = (64, 256) if SMOKE else (64, 128, 256)
+BATCH_REPRESENTATIVE = 256
+BATCH_BAR = 2.0
+
+TRAJECTORY = REPO_ROOT / "BENCH_vectorized.json"
+
+
+class _Valuation(dict):
+    """The fixpoint kernels' ``edb_value`` contract: weighted EDB facts
+    with a semiring-one default."""
+
+    def __missing__(self, fact):
+        return TROPICAL.one
+
+
+def best_of(fn, rounds=ROUNDS):
+    """Best wall-clock over *rounds* runs of *fn*; returns (seconds, result)."""
+    best = None
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def fixpoint_workload(n):
+    """A tropical Bellman–Ford instance: shared grounding + weights."""
+    database = random_digraph(n, 3 * n, seed=n)
+    weights = _Valuation(random_weights(database, seed=n + 1))
+    cground = columnar_grounding(TC, database)
+    return cground, weights
+
+
+def fixpoint_head_to_head(n):
+    from repro.backends.vectorized import vectorized_columnar_fixpoint
+
+    cground, weights = fixpoint_workload(n)
+    python_seconds, python_result = best_of(
+        lambda: _columnar_fixpoint(cground, TROPICAL, weights, 100_000)
+    )
+    vector_seconds, vector_result = best_of(
+        lambda: vectorized_columnar_fixpoint(cground, TROPICAL, weights, 100_000)
+    )
+    # Cross-check: the vectorized kernel must take the array path here
+    # (None would mean it silently declined and timed nothing) and
+    # agree exactly -- values, iterations, convergence, evaluations.
+    assert vector_result is not None, "vectorized kernel declined the tropical workload"
+    assert vector_result == python_result
+    return dict(
+        n=n,
+        rules=len(cground),
+        seconds_python=python_seconds,
+        seconds_vectorized=vector_seconds,
+        speedup=python_seconds / max(vector_seconds, 1e-9),
+    )
+
+
+def batch_workload():
+    """One compiled TC provenance circuit plus deterministic batches."""
+    database = random_digraph(BATCH_N, 3 * BATCH_N, seed=BATCH_N)
+    weights = random_weights(database, seed=BATCH_N + 1)
+    session = Session(TC, database, ExecutionConfig(backend="python"))
+    result = session.solve(TROPICAL, weights=weights)
+    target = max(
+        result.values,
+        key=lambda fact: 0 if result.values[fact] in (TROPICAL.zero, TROPICAL.one) else 1,
+    )
+    compiled = session.compiled(target)
+    facts = sorted(database.facts(), key=repr)
+    return compiled, facts
+
+
+def batch_head_to_head(compiled, facts, batch):
+    assignments = [
+        {fact: float((k * 13 + i) % 17 + 1) for i, fact in enumerate(facts)}
+        for k in range(batch)
+    ]
+    python_seconds, python_values = best_of(
+        lambda: compiled.evaluate_batch(TROPICAL, assignments, backend="python")
+    )
+    vector_seconds, vector_values = best_of(
+        lambda: compiled.evaluate_batch(TROPICAL, assignments, backend="vectorized")
+    )
+    assert python_values == vector_values  # exact, every sweep point
+    return dict(
+        batch=batch,
+        slots=compiled.num_slots,
+        gates=compiled.size,
+        seconds_python=python_seconds,
+        seconds_vectorized=vector_seconds,
+        speedup=python_seconds / max(vector_seconds, 1e-9),
+    )
+
+
+def print_table(title, rows, label):
+    print(f"\n== {title} ==")
+    print(f"{label:>6} {'python ms':>10} {'vectorized ms':>14} {'speedup':>8}")
+    for row in rows:
+        print(
+            f"{row[label]:>6} {1e3 * row['seconds_python']:>10.1f} "
+            f"{1e3 * row['seconds_vectorized']:>14.1f} {row['speedup']:>7.2f}x"
+        )
+
+
+def record_rows(bench, rows, representative, bar, key):
+    top = next(row for row in rows if row[key] == representative)
+    assert top["speedup"] >= bar, (bench, top)
+    record = append_record(
+        TRAJECTORY,
+        bench,
+        {
+            "smoke": SMOKE,
+            "backend": "vectorized",
+            "speedup": top["speedup"],
+            "python_ms": 1e3 * top["seconds_python"],
+            "vectorized_ms": 1e3 * top["seconds_vectorized"],
+            "rows": rows,
+        },
+    )
+    print(f"recorded {record['bench']} [{record['backend']}]: {record['speedup']:.2f}x")
+
+
+def test_vectorized_fixpoint_bellman_ford(benchmark):
+    rows = [fixpoint_head_to_head(n) for n in FIXPOINT_SWEEP]
+    print_table("vectorized vs python columnar fixpoint (tropical Bellman–Ford)", rows, "n")
+    record_rows(
+        "vectorized/fixpoint_bellman_ford", rows, FIXPOINT_REPRESENTATIVE, FIXPOINT_BAR, "n"
+    )
+
+    from repro.backends.vectorized import vectorized_columnar_fixpoint
+
+    cground, weights = fixpoint_workload(FIXPOINT_REPRESENTATIVE)
+    benchmark(vectorized_columnar_fixpoint, cground, TROPICAL, weights, 100_000)
+
+
+def test_vectorized_evaluate_batch(benchmark):
+    compiled, facts = batch_workload()
+    rows = [batch_head_to_head(compiled, facts, batch) for batch in BATCH_SWEEP]
+    print_table("vectorized vs python evaluate_batch (tropical TC circuit)", rows, "batch")
+    record_rows("vectorized/evaluate_batch", rows, BATCH_REPRESENTATIVE, BATCH_BAR, "batch")
+
+    assignments = [
+        {fact: float((k * 13 + i) % 17 + 1) for i, fact in enumerate(facts)}
+        for k in range(BATCH_REPRESENTATIVE)
+    ]
+    benchmark(compiled.evaluate_batch, TROPICAL, assignments, None, "vectorized")
+
+
+if __name__ == "__main__":
+    if not numpy_available():
+        print("numpy not installed (perf extra); nothing to benchmark")
+        sys.exit(0)
+    sys.exit(pytest.main([__file__, "-q", "--benchmark-disable"]))

@@ -213,6 +213,20 @@ class Session:
         """The compiled circuit for output *fact* (cached end to end)."""
         return self.circuit(fact).compiled()
 
+    def evaluate_batch(self, fact: Fact, semiring: Semiring, assignments) -> list:
+        """Many valuations of *fact*'s circuit, one compile.
+
+        Threads ``config.backend`` (DESIGN.md §13) into the runtime:
+        under ``"vectorized"``/``"auto"`` each maximal same-opcode
+        instruction stream runs as one NumPy array expression over the
+        assignment matrix, falling back to the pure-Python interpreter
+        whenever the semiring or the batch values are outside the ufunc
+        contract.
+        """
+        return self.circuit(fact).evaluate_batch(
+            semiring, assignments, backend=self.config.backend
+        )
+
     def serve(
         self,
         fact: Fact,

@@ -1,0 +1,127 @@
+"""Sharded multicore grounding (DESIGN.md §13).
+
+:func:`sharded_columnar_grounding` splits ``columnar_grounding()``
+across a ``multiprocessing`` pool: every worker receives the *same*
+pickled base :class:`~repro.datalog.store.ColumnarStore` (the flat
+``array('q')`` columns and the private symbol-scoping from PR 5 are
+what make that payload cheap), runs the *full* derivation fixpoint --
+so rounds, the derived set and freshly interned symbol ids are
+identical everywhere -- but only **emits** the ground rules whose head
+hashes to its shard (:func:`~repro.datalog.grounding.shard_of_fact`).
+Every ground rule is therefore emitted by exactly one worker, and the
+union of the shards is exactly the serial grounding.
+
+The merge walks the shards in shard order: per-shard fact ids are
+remapped through one interning pass into the merged program (the
+shard's ``fact_rows`` are symbol-id tuples, valid verbatim because all
+workers share the symbol table contents), rule arrays are extended
+with rebased CSR pointers, and the per-shard ``iterations`` -- equal
+by construction -- become the merged count.  The result has the same
+``rule_keys()`` and ``iterations`` as the serial pass; only the rule
+*order* differs (grouped by shard, ascending emission order within a
+shard), which no consumer depends on.
+
+When a pool cannot be created (sandboxes without ``/dev/shm``,
+unpicklable programs), the same shard/merge protocol runs serially
+in-process -- slower, but bit-identical, so the determinism contract
+holds everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from array import array
+from typing import List, Tuple
+
+from ..datalog.ast import Program
+from ..datalog.database import Database
+from ..datalog.grounding import ColumnarGroundProgram, _ColumnarProgramGrounder, _stats
+
+__all__ = ["sharded_columnar_grounding"]
+
+#: One shard's contribution, in plain picklable arrays:
+#: ``(fact_preds, fact_rows, rule_head, rule_no, idb_indptr, idb_flat,
+#: edb_indptr, edb_flat, symbols, iterations)``.
+_ShardResult = Tuple
+
+
+def _ground_shard(task) -> _ShardResult:
+    """Pool worker: full fixpoint, shard-filtered emission."""
+    program, store, index, count = task
+    grounder = _ColumnarProgramGrounder(program, None, store=store, shard=(index, count)).run()
+    cground = grounder.cground
+    return (
+        cground.fact_preds,
+        cground.fact_rows,
+        cground.rule_head,
+        cground.rule_no,
+        cground.idb_indptr,
+        cground.idb_flat,
+        cground.edb_indptr,
+        cground.edb_flat,
+        cground.symbols,
+        grounder.iterations,
+    )
+
+
+def _pool_map(tasks) -> Tuple[List[_ShardResult], bool]:
+    """Map :func:`_ground_shard` over a pool, or serially in-process.
+
+    The serial fallback runs the identical shard/merge protocol (the
+    grounder copies the shared base store per shard), so results are
+    bit-identical either way.  Returns ``(parts, pooled)`` -- the flag
+    tells the caller whether worker-process grounding stats were lost
+    and need re-recording in this process.
+    """
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    method = "fork" if "fork" in methods else "spawn"
+    try:
+        ctx = multiprocessing.get_context(method)
+        workers = min(len(tasks), max(os.cpu_count() or 1, 2))
+        with ctx.Pool(processes=workers) as pool:
+            return pool.map(_ground_shard, tasks), True
+    except (OSError, PermissionError, ImportError, AttributeError, pickle.PicklingError):
+        return [_ground_shard(task) for task in tasks], False
+
+
+def sharded_columnar_grounding(
+    program: Program, database: Database, workers: int
+) -> ColumnarGroundProgram:
+    """``columnar_grounding`` sharded by hash of head fact (see the
+    module docstring for the protocol)."""
+    if workers < 2:
+        raise ValueError("sharded_columnar_grounding requires workers >= 2")
+    base = database.columnar_store()
+    tasks = [(program, base, index, workers) for index in range(workers)]
+    parts, pooled = _pool_map(tasks)
+
+    iterations = {part[9] for part in parts}
+    if len(iterations) != 1:
+        raise AssertionError(f"shard workers disagreed on fixpoint rounds: {sorted(iterations)}")
+
+    # Merge in shard order.  Worker symbol tables are identical by
+    # construction (same pickled base, same deterministic interning
+    # order); shard 0's table is used so head constants interned
+    # during grounding decode in the merged program too.
+    merged = ColumnarGroundProgram(program, parts[0][8])
+    for part in parts:
+        preds, rows, rule_head, rule_no, idb_ptr, idb_flat, edb_ptr, edb_flat = part[:8]
+        fid_map = array("q", (merged.fact_id(pred, row) for pred, row in zip(preds, rows)))
+        merged.rule_head.extend(fid_map[fid] for fid in rule_head)
+        merged.rule_no.extend(rule_no)
+        idb_base = len(merged.idb_flat)
+        merged.idb_flat.extend(fid_map[fid] for fid in idb_flat)
+        merged.idb_indptr.extend(idb_base + ptr for ptr in idb_ptr[1:])
+        edb_base = len(merged.edb_flat)
+        merged.edb_flat.extend(fid_map[fid] for fid in edb_flat)
+        merged.edb_indptr.extend(edb_base + ptr for ptr in edb_ptr[1:])
+    merged.iterations = iterations.pop()
+    if pooled:
+        # The serial fallback's shard grounders recorded their rule
+        # counts in this process already; pool workers recorded them in
+        # children, so re-record the merged total here.
+        _stats().ground_rules += len(merged)
+    return merged

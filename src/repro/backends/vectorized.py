@@ -1,0 +1,381 @@
+"""Whole-column NumPy kernels for the two hot loops (DESIGN.md §13).
+
+Both entry points return ``None`` whenever they cannot *prove* the
+result will match the pure-Python reference bit for bit -- unsupported
+semiring, NumPy absent, values outside the machine representation
+(``int64`` overflow vs. Python bigints, huge exact ints in a float
+column), or a NaN born anywhere in the computation (NumPy's
+``minimum``/``maximum`` propagate NaN where Python's comparison-based
+``⊕`` swallows it).  The callers then fall back to the pure-Python
+kernel from scratch: both backends are deterministic, so the fallback
+is exact, just slower.
+
+Zero-copy view contract: the columnar fixpoint reads the CSR rule
+arrays of :class:`~repro.datalog.grounding.ColumnarGroundProgram`
+(``rule_head``, ``idb_indptr``/``idb_flat``, ``edb_indptr``/
+``edb_flat``, ``by_head_csr()``, ``by_body_csr()``) through
+``np.frombuffer`` -- no copy, no decode.  The views are read-only by
+construction (NumPy marks buffer views non-writeable only for bytes;
+we simply never write through them) and valid for the duration of the
+call because the grounding is immutable once built.
+
+Parity notes (mirrored by ``tests/backends/test_vectorized.py``):
+
+* ``⊗``-folds run column by column starting from ``one`` and
+  ``⊕``-segments fold left-to-right via ``ufunc.reduceat`` with the
+  identity applied once at the end -- the exact fold orders of
+  :func:`repro.datalog.seminaive._columnar_fixpoint`, so even
+  out-of-domain inputs (negative "probabilities", fuzzy values > 1)
+  produce identical results.
+* Dirty sets are materialized as sorted index arrays, so
+  ``rule_evaluations``, iteration counts and convergence decisions
+  coincide round for round (Jacobi order is preserved: all updates are
+  batched per round).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Tuple
+
+from ..circuits.circuit import OP_ADD
+from ..semirings.base import Semiring
+from . import _numpy
+
+__all__ = ["vectorized_columnar_fixpoint", "vectorized_evaluate_batch"]
+
+#: Magnitude cap for exact Python ints living in a float64 column: at
+#: ``2**32`` a fold of up to ~2**20 of them stays below 2**53, so the
+#: float arithmetic is exact wherever Python's would have stayed in
+#: (arbitrary-precision) int space.
+_FLOAT_EXACT_INT_LIMIT = 2**32
+
+#: Magnitude cap on circuit-batch int64 values: binary gates over
+#: inputs ≤ 2**31 produce intermediates ≤ 2**62, which int64 holds
+#: exactly; any gate result above the cap bails back to Python bigints.
+_BATCH_INT_LIMIT = 2**31
+
+
+def _ufunc_spec(semiring: Semiring):
+    """``(np, ⊕-ufunc, ⊗-ufunc, dtype, eq_tols)`` or ``None``."""
+    np = _numpy()
+    if np is None:
+        return None
+    add_name, mul_name = semiring.vector_add_expr, semiring.vector_mul_expr
+    if not add_name or not mul_name or not semiring.vector_dtype:
+        return None
+    add_u = getattr(np, add_name, None)
+    mul_u = getattr(np, mul_name, None)
+    if add_u is None or mul_u is None:
+        return None
+    return np, add_u, mul_u, np.dtype(semiring.vector_dtype), semiring.vector_eq_tols
+
+
+def _coerce_values(np, raw: List[object], dtype):
+    """*raw* as a 1-D array of *dtype*, or ``None`` when the conversion
+    could diverge from Python-object arithmetic (see module docstring)."""
+    kind = dtype.kind
+    if kind == "b":
+        # Python `or`/`and` return an *operand*; only genuine bools
+        # coincide with logical_or/logical_and over a bool column.
+        if any(type(v) is not bool for v in raw):
+            return None
+    elif kind == "i":
+        if any(not isinstance(v, int) for v in raw):
+            return None
+    else:
+        for v in raw:
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                return None
+            if isinstance(v, int) and (v > _FLOAT_EXACT_INT_LIMIT or v < -_FLOAT_EXACT_INT_LIMIT):
+                return None
+    try:
+        out = np.array(raw, dtype=dtype)
+    except (OverflowError, ValueError, TypeError):
+        return None
+    return out
+
+
+def _expand_csr(np, starts, lens):
+    """Flat positions of the CSR ranges ``[starts[i], starts[i]+lens[i])``."""
+    total = int(lens.sum())
+    bases = starts - (np.cumsum(lens) - lens)
+    return np.repeat(bases, lens) + np.arange(total, dtype=np.int64)
+
+
+def _changed_mask(np, totals, current, tols):
+    """``not semiring.eq`` vectorized: exact ``!=`` or ``math.isclose``."""
+    if tols is None:
+        return totals != current
+    rel, abs_tol = tols
+    finite = np.isfinite(totals) & np.isfinite(current)
+    close = (totals == current) | (
+        finite
+        & (np.abs(totals - current) <= np.maximum(rel * np.maximum(np.abs(totals), np.abs(current)), abs_tol))
+    )
+    return ~close
+
+
+def _counting_guard(np, lens_per_rule, by_head_ptr) -> Optional[int]:
+    """Magnitude threshold under which int64 arithmetic is provably
+    exact: products of ≤ K body values each below the threshold stay
+    under 2**62 and ⊕-folds of ≤ F of those stay under 2**63."""
+    K = max(1, int(lens_per_rule.max()) if lens_per_rule.size else 1)
+    fan = np.diff(by_head_ptr)
+    F = max(1, int(fan.max()) if fan.size else 1)
+    bits = 62 - F.bit_length()
+    per_factor = bits // K
+    if per_factor < 2:
+        return None
+    return 1 << per_factor
+
+
+def vectorized_columnar_fixpoint(
+    cground,
+    semiring: Semiring,
+    edb_value: Mapping,
+    max_iterations: int,
+) -> Optional[Tuple[List[object], int, bool, int]]:
+    """The delta loop of ``_columnar_fixpoint`` as whole-column array
+    ops; returns ``(value, iterations, converged, rule_evaluations)``
+    exactly as the Python kernel would, or ``None`` to decline."""
+    spec = _ufunc_spec(semiring)
+    if spec is None:
+        return None
+    np, add_u, mul_u, dtype, tols = spec
+    nrules = len(cground)
+    nfacts = cground.fact_count
+    if nrules == 0 or nfacts == 0:
+        return None
+    zero, one = semiring.zero, semiring.one
+    is_float = dtype.kind == "f"
+    is_int = dtype.kind == "i"
+
+    # Zero-copy views over the CSR rule arrays.
+    i64 = np.int64
+    rule_head = np.frombuffer(cground.rule_head, dtype=i64)
+    idb_ptr = np.frombuffer(cground.idb_indptr, dtype=i64)
+    idb_flat = np.frombuffer(cground.idb_flat, dtype=i64) if len(cground.idb_flat) else np.empty(0, i64)
+    edb_ptr = np.frombuffer(cground.edb_indptr, dtype=i64)
+    edb_flat = np.frombuffer(cground.edb_flat, dtype=i64) if len(cground.edb_flat) else np.empty(0, i64)
+    bh_ptr_a, bh_rules_a = cground.by_head_csr()
+    bb_ptr_a, bb_rules_a = cground.by_body_csr()
+    bh_ptr = np.frombuffer(bh_ptr_a, dtype=i64)
+    bh_rules = np.frombuffer(bh_rules_a, dtype=i64) if len(bh_rules_a) else np.empty(0, i64)
+    bb_ptr = np.frombuffer(bb_ptr_a, dtype=i64)
+    bb_rules = np.frombuffer(bb_rules_a, dtype=i64) if len(bb_rules_a) else np.empty(0, i64)
+
+    idb_lens = idb_ptr[1:] - idb_ptr[:-1]
+    edb_lens = edb_ptr[1:] - edb_ptr[:-1]
+
+    int_guard = _counting_guard(np, np.maximum(idb_lens + edb_lens, 1), bh_ptr) if is_int else None
+    if is_int and int_guard is None:
+        return None
+
+    # Dense valuation, EDB slots decoded once -- as the Python kernel.
+    value = np.full(nfacts, zero, dtype=dtype)
+    decode = cground.decode_fact
+    edb_ids = cground.edb_fact_ids()
+    edb_fids = np.frombuffer(edb_ids, dtype=i64) if len(edb_ids) else np.empty(0, i64)
+    if edb_fids.size:
+        raw = [edb_value[decode(int(fid))] for fid in edb_fids]
+        filled = _coerce_values(np, raw, dtype)
+        if filled is None:
+            return None
+        value[edb_fids] = filled
+    if is_float and bool(np.isnan(value).any()):
+        return None
+    if int_guard is not None and value.size and int(np.abs(value).max()) > int_guard:
+        return None
+
+    # Rules grouped by body-row length once: the gather columns for a
+    # group of G rules with L body atoms form a (G, L) matrix.
+    def _groups(ptr, lens, flat):
+        groups = []
+        for length in np.unique(lens) if lens.size else []:
+            L = int(length)
+            rows = np.nonzero(lens == L)[0]
+            cols = flat[ptr[rows][:, None] + np.arange(L, dtype=i64)] if L else None
+            groups.append((L, rows, cols))
+        return groups
+
+    idb_groups = _groups(idb_ptr, idb_lens, idb_flat)
+    edb_groups = _groups(edb_ptr, edb_lens, edb_flat)
+
+    with np.errstate(all="ignore"):
+        # Stage-invariant EDB products: fold from `one`, column by
+        # column -- Python's exact left-fold order.
+        edb_product = np.full(nrules, one, dtype=dtype)
+        for L, rows, cols in edb_groups:
+            if not L:
+                continue
+            term = np.full(rows.size, one, dtype=dtype)
+            for j in range(L):
+                term = mul_u(term, value[cols[:, j]])
+            edb_product[rows] = term
+        if is_float and bool(np.isnan(edb_product).any()):
+            return None
+        if int_guard is not None and edb_product.size and int(np.abs(edb_product).max()) > int_guard:
+            return None
+
+        rule_term = np.full(nrules, zero, dtype=dtype)
+        dirty_mark = np.ones(nrules, dtype=bool)
+        dirty_count = nrules
+        iterations = 0
+        converged = False
+        rule_evaluations = 0
+        while iterations < max_iterations:
+            rule_evaluations += dirty_count
+            for L, rows, cols in idb_groups:
+                sel = dirty_mark[rows]
+                if not sel.any():
+                    continue
+                r = rows[sel]
+                term = edb_product[r]
+                if L:
+                    c = cols[sel]
+                    for j in range(L):
+                        term = mul_u(term, value[c[:, j]])
+                rule_term[r] = term
+            heads = np.unique(rule_head[dirty_mark]) if dirty_count else np.empty(0, i64)
+            iterations += 1
+            if not heads.size:
+                converged = True
+                break
+            # Segment-⊕ per dirty head over *all* its cached rule
+            # terms (by_head order = ascending rule position), then the
+            # identity folded in once -- ⊕ is exactly associative and
+            # commutative on these machine types absent NaN.
+            starts = bh_ptr[heads]
+            seg_lens = bh_ptr[heads + 1] - starts
+            flat = _expand_csr(np, starts, seg_lens)
+            gathered = rule_term[bh_rules[flat]]
+            seg_starts = np.cumsum(seg_lens) - seg_lens
+            totals = add_u.reduceat(gathered, seg_starts)
+            totals = add_u(totals, np.asarray(zero, dtype=dtype))
+            if is_float and bool(np.isnan(totals).any()):
+                return None
+            changed = _changed_mask(np, totals, value[heads], tols)
+            if not changed.any():
+                converged = True
+                break
+            delta = heads[changed]
+            value[delta] = totals[changed]
+            if int_guard is not None and int(np.abs(value).max()) > int_guard:
+                return None
+            # Next dirty set: CSR-expand by_body over the delta heads,
+            # dedupe via a mark array; nonzero() yields it sorted.
+            starts = bb_ptr[delta]
+            seg_lens = bb_ptr[delta + 1] - starts
+            dirty_mark[:] = False
+            if int(seg_lens.sum()):
+                dirty_mark[bb_rules[_expand_csr(np, starts, seg_lens)]] = True
+            dirty_count = int(dirty_mark.sum())
+    return value.tolist(), iterations, converged, rule_evaluations
+
+
+# ----------------------------------------------------------------------
+# Batched circuit evaluation
+# ----------------------------------------------------------------------
+
+
+def _batch_plan(np, compiled, outputs_only: bool):
+    """Array-ified instruction streams for one ``CompiledCircuit``,
+    cached on the circuit (``_vec_plans``).
+
+    Each same-opcode segment is split greedily into *chunks* whose
+    gates are mutually independent (no gate reads a destination at or
+    after the chunk's first destination), so a chunk executes as one
+    ufunc call over the whole assignment matrix.  The test is
+    conservative -- node indices are topological, so ``child >= first
+    dest of chunk`` is the only way a dependency can point inside it.
+    """
+    plan = compiled._vec_plans.get(outputs_only)
+    if plan is not None:
+        return plan
+    if outputs_only:
+        loads, ones, segments = compiled._filtered_streams()
+    else:
+        loads, ones, segments = compiled.load_pairs, compiled.const1_nodes, compiled.segments
+    i64 = np.int64
+    load_d = np.array([d for d, _ in loads], dtype=i64)
+    load_s = np.array([s for _, s in loads], dtype=i64)
+    ones_arr = np.array(ones, dtype=i64)
+    chunks = []
+
+    def flush(op, triples):
+        if triples:
+            d, l, r = zip(*triples)
+            chunks.append((op, np.array(d, i64), np.array(l, i64), np.array(r, i64)))
+
+    for op, triples in segments:
+        current: list = []
+        first_dest = -1
+        for dest, left, right in triples:
+            if current and (left >= first_dest or right >= first_dest):
+                flush(op, current)
+                current = []
+            if not current:
+                first_dest = dest
+            current.append((dest, left, right))
+        flush(op, current)
+    plan = (load_d, load_s, ones_arr, chunks)
+    compiled._vec_plans[outputs_only] = plan
+    return plan
+
+
+def vectorized_evaluate_batch(
+    compiled,
+    semiring: Semiring,
+    assignments: List,
+    out: int,
+    position: Optional[int],
+) -> Optional[List[object]]:
+    """``CompiledCircuit.evaluate_batch`` as one array expression per
+    independent instruction chunk over the whole assignment matrix;
+    ``None`` declines back to the per-assignment Python runner.
+
+    *assignments* must already be materialized (the caller lists the
+    iterable so the fallback can re-consume it); *out*/*position* are
+    the resolved output node and its output-list position (``None``
+    position means an interior node: the full streams run, matching
+    the Python path's full pass).
+    """
+    spec = _ufunc_spec(semiring)
+    if spec is None:
+        return None
+    np, add_u, mul_u, dtype, _tols = spec
+    if not assignments:
+        return []
+    rows = [compiled.bind(assignment) for assignment in assignments]
+    flat: List[object] = []
+    for row in rows:
+        flat.extend(row)
+    coerced = _coerce_values(np, flat, dtype)
+    if coerced is None:
+        return None
+    is_float = dtype.kind == "f"
+    is_int = dtype.kind == "i"
+    if is_float and bool(np.isnan(coerced).any()):
+        return None
+    if is_int and coerced.size and int(np.abs(coerced).max()) > _BATCH_INT_LIMIT:
+        return None
+    matrix = coerced.reshape(len(rows), compiled.num_slots) if compiled.num_slots else coerced.reshape(len(rows), 0)
+    load_d, load_s, ones_arr, chunks = _batch_plan(np, compiled, position is not None)
+    values = np.full((len(rows), compiled.size), semiring.zero, dtype=dtype)
+    if ones_arr.size:
+        values[:, ones_arr] = semiring.one
+    if load_d.size:
+        values[:, load_d] = matrix[:, load_s]
+    with np.errstate(all="ignore"):
+        for op, d, l, r in chunks:
+            ufunc = add_u if op == OP_ADD else mul_u
+            result = ufunc(values[:, l], values[:, r])
+            # NaN born mid-circuit (inf·0, inf + -inf) or an int64
+            # magnitude past the exactness cap: Python semantics
+            # diverge from the ufuncs there, so decline.
+            if is_float and bool(np.isnan(result).any()):
+                return None
+            if is_int and result.size and int(np.abs(result).max()) > _BATCH_INT_LIMIT:
+                return None
+            values[:, d] = result
+    return values[:, out].tolist()

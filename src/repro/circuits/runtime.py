@@ -178,6 +178,7 @@ class CompiledCircuit:
         "const1_nodes",
         "segments",
         "_kernels",
+        "_vec_plans",
         "_users",
         "_keep",
         "_outs_streams",
@@ -234,6 +235,7 @@ class CompiledCircuit:
         self.const1_nodes = const1_nodes
         self.segments = segments
         self._kernels: Dict[Tuple[Optional[Tuple[str, str]], bool], Callable] = {}
+        self._vec_plans: Dict[bool, tuple] = {}
         self._users: Optional[List[List[int]]] = None
         self._keep: Optional[List[bool]] = None
         self._outs_streams: Optional[tuple] = None
@@ -409,11 +411,30 @@ class CompiledCircuit:
         semiring: Semiring,
         assignments: Iterable[Assignment],
         output: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> List:
         """One value per assignment, amortizing the compile and the
-        kernel lookup across the whole batch."""
+        kernel lookup across the whole batch.
+
+        ``backend`` selects the numeric kernels (DESIGN.md §13):
+        ``"vectorized"`` runs each independent instruction chunk as one
+        NumPy ufunc call over the whole assignment matrix, falling back
+        to the per-assignment Python runner whenever the vectorized
+        kernel declines (unsupported semiring, unrepresentable values);
+        ``None``/``"python"`` is the default Python path.
+        """
         out = self.resolve_output(output)
         position = self._output_position(out)
+        if backend is not None:
+            from ..backends import resolve_backend
+
+            if resolve_backend(backend) == "vectorized":
+                from ..backends.vectorized import vectorized_evaluate_batch
+
+                assignments = list(assignments)
+                batched = vectorized_evaluate_batch(self, semiring, assignments, out, position)
+                if batched is not None:
+                    return batched
         bind = self.bind
         if position is None:
             runner = self._runner(semiring)
@@ -482,9 +503,10 @@ def evaluate_batch(
     semiring: Semiring,
     assignments: Iterable[Assignment],
     output: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List:
     """Batch evaluation over an arbitrary semiring (compiles once)."""
-    return compile_circuit(circuit).evaluate_batch(semiring, assignments, output)
+    return compile_circuit(circuit).evaluate_batch(semiring, assignments, output, backend=backend)
 
 
 def evaluate_boolean_batch(

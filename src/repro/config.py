@@ -42,6 +42,8 @@ __all__ = [
     "DEFAULT_FIXPOINT_STRATEGY",
     "CONSTRUCTIONS",
     "DEFAULT_CONSTRUCTION",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
     "ExecutionConfig",
     "DEFAULT_CONFIG",
     "coerce_config",
@@ -66,10 +68,19 @@ DEFAULT_FIXPOINT_STRATEGY = "seminaive"
 CONSTRUCTIONS: Tuple[str, ...] = ("auto", "generic", "fringe")
 DEFAULT_CONSTRUCTION = "auto"
 
+#: Numeric kernel backends (DESIGN.md §13): ``python`` runs the
+#: exec-generated pure-Python kernels (no dependencies), ``vectorized``
+#: runs whole-column NumPy ufunc expressions over the same buffers and
+#: requires NumPy (the ``perf`` extra), ``auto`` picks ``vectorized``
+#: when NumPy is importable and falls back to ``python`` otherwise.
+BACKENDS: Tuple[str, ...] = ("python", "vectorized", "auto")
+DEFAULT_BACKEND = "python"
+
 _VOCABULARIES = {
     "engine": GROUNDING_ENGINES,
     "strategy": FIXPOINT_STRATEGIES,
     "construction": CONSTRUCTIONS,
+    "backend": BACKENDS,
 }
 
 
@@ -93,9 +104,10 @@ class ExecutionConfig:
     strategy: Optional[str] = None
     construction: Optional[str] = None
     optimize_depth: bool = False
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
-        for field in ("engine", "strategy", "construction"):
+        for field in ("engine", "strategy", "construction", "backend"):
             value = getattr(self, field)
             allowed = _VOCABULARIES[field]
             if value is not None and value not in allowed:
@@ -114,6 +126,17 @@ class ExecutionConfig:
     @property
     def resolved_construction(self) -> str:
         return self.construction or DEFAULT_CONSTRUCTION
+
+    @property
+    def resolved_backend(self) -> str:
+        """The configured backend name with the default applied.
+
+        Note this is the *name* resolution only; ``"auto"`` is resolved
+        against NumPy availability lazily at evaluation time by
+        :func:`repro.backends.resolve_backend`, so building a config
+        never imports NumPy.
+        """
+        return self.backend or DEFAULT_BACKEND
 
     def evolve(self, **changes) -> "ExecutionConfig":
         """A copy with *changes* applied (``dataclasses.replace``)."""

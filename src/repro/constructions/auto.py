@@ -64,9 +64,15 @@ class ConstructionChoice:
         """One valuation query against the compiled circuit."""
         return self.compiled().evaluate(semiring, assignment, output)
 
-    def evaluate_batch(self, semiring, assignments, output=None):
-        """Many valuation queries, one compile (see ``evaluate_batch``)."""
-        return self.compiled().evaluate_batch(semiring, assignments, output)
+    def evaluate_batch(self, semiring, assignments, output=None, backend=None):
+        """Many valuation queries, one compile (see ``evaluate_batch``).
+
+        *backend* threads the DESIGN.md §13 execution backend through to
+        the compiled runtime (``"vectorized"`` evaluates each same-opcode
+        instruction stream as one NumPy array expression when the
+        semiring publishes ufunc specs; any other value keeps the pure
+        Python interpreter)."""
+        return self.compiled().evaluate_batch(semiring, assignments, output, backend=backend)
 
     def evaluate_boolean_batch(self, batches, output=None, word_size=64):
         """Bitset-parallel Boolean queries, 64 per pass."""

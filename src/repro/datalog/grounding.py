@@ -59,6 +59,7 @@ counter the benchmarks (``benchmarks/bench_ablation_grounding.py``,
 
 from __future__ import annotations
 
+import zlib
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 from itertools import product
@@ -101,7 +102,23 @@ __all__ = [
     "relevant_grounding",
     "columnar_grounding",
     "derivable_facts",
+    "shard_of_fact",
 ]
+
+
+def shard_of_fact(predicate: str, ids: Tuple[int, ...], nshards: int) -> int:
+    """Stable shard of a ground fact in id space (DESIGN.md §13).
+
+    Mixes the predicate's CRC32 with the symbol ids FNV-style.  Must be
+    identical across worker processes, which rules out the builtin
+    ``hash`` (``PYTHONHASHSEED`` salts strings per process); symbol ids
+    are themselves process-stable because every shard worker starts
+    from the same pickled base store.
+    """
+    h = zlib.crc32(predicate.encode("utf-8"))
+    for sid in ids:
+        h = (h * 1000003 ^ sid) & 0xFFFFFFFF
+    return h % nshards
 
 # The engine vocabulary and its default live in repro.config (the
 # shared knob module, DESIGN.md §10); the historical names are
@@ -1587,10 +1604,25 @@ class _ColumnarProgramGrounder:
       :class:`Fact` object, no constant decoding, anywhere.
     """
 
-    def __init__(self, program: Program, database: Database):
+    def __init__(
+        self,
+        program: Program,
+        database: Optional[Database],
+        store: Optional["ColumnarStore"] = None,
+        shard: Optional[Tuple[int, int]] = None,
+    ):
         self.program = program
         idbs = program.idb_predicates
-        self.store = database.columnar_store().copy()
+        # A shard worker receives the base store directly (unpickled in
+        # the worker, or handed over by the serial fallback); either
+        # way the grounder works on a private copy.
+        self.store = (store if store is not None else database.columnar_store()).copy()
+        #: ``(index, count)`` restricts *emission* to ground rules
+        #: whose head hashes to this shard (:func:`shard_of_fact`); the
+        #: derivation fixpoint itself stays global so every shard sees
+        #: the same rounds and the union of shards is exactly the
+        #: serial grounding.
+        self.shard = shard
         symbols = self.store.symbols
         self.cground = ColumnarGroundProgram(program, symbols)
         self.slot_counts: List[int] = []
@@ -1647,6 +1679,13 @@ class _ColumnarProgramGrounder:
         round_seen.add(key)
         head_pred, head_build, head_intern, body_plan = self.emit_plans[rule_index]
         head_ids = head_build(theta)
+        if self.shard is not None:
+            index, count = self.shard
+            if shard_of_fact(head_pred, head_ids, count) != index:
+                # Foreign shard: skip the emission (another worker owns
+                # this head) but still report the head so the global
+                # derivation fixpoint advances identically everywhere.
+                return (head_pred, head_ids)
         idb_flat, edb_flat = self._idb_flat, self._edb_flat
         for build, is_idb, intern in body_plan:
             fid = intern(build(theta))
@@ -1735,7 +1774,9 @@ class _ColumnarProgramGrounder:
         return self
 
 
-def columnar_grounding(program: Program, database: Database) -> ColumnarGroundProgram:
+def columnar_grounding(
+    program: Program, database: Database, workers: Optional[int] = None
+) -> ColumnarGroundProgram:
     """Relevant grounding straight into id space (DESIGN.md §9).
 
     Runs the same fused delta-driven pass as
@@ -1749,7 +1790,16 @@ def columnar_grounding(program: Program, database: Database) -> ColumnarGroundPr
     :meth:`~ColumnarGroundProgram.rule_keys` recover the tuple form at
     the boundary.  The result's ``iterations`` records the Boolean
     fixpoint rounds of the pass (the :func:`derivable_facts` count).
+
+    ``workers > 1`` shards the pass by hash of head fact across a
+    ``multiprocessing`` pool and merges the per-shard programs
+    deterministically (DESIGN.md §13): same ``rule_keys()`` and
+    ``iterations`` as the serial pass, rule *order* grouped by shard.
     """
+    if workers is not None and workers > 1:
+        from ..backends.sharding import sharded_columnar_grounding
+
+        return sharded_columnar_grounding(program, database, workers)
     grounder = _ColumnarProgramGrounder(program, database).run()
     cground = grounder.cground
     cground.iterations = grounder.iterations

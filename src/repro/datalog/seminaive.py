@@ -45,6 +45,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
+from ..backends import resolve_backend
 from ..config import (
     DEFAULT_FIXPOINT_STRATEGY,
     FIXPOINT_STRATEGIES,
@@ -240,9 +241,18 @@ class FixpointEngine:
         head_fids = cground.idb_fact_ids()
         if max_iterations is None:
             max_iterations = max(len(head_fids), 1) + 2
-        value, iterations, converged, rule_evaluations = _columnar_fixpoint(
-            cground, semiring, edb_value, max_iterations
-        )
+        # Backend dispatch (DESIGN.md §13): the vectorized kernel may
+        # decline (returns None) whenever bit-exact parity with the
+        # Python loop is not provable; both are deterministic, so the
+        # from-scratch fallback is exact.
+        result = None
+        if resolve_backend(self.config.backend) == "vectorized":
+            from ..backends.vectorized import vectorized_columnar_fixpoint
+
+            result = vectorized_columnar_fixpoint(cground, semiring, edb_value, max_iterations)
+        if result is None:
+            result = _columnar_fixpoint(cground, semiring, edb_value, max_iterations)
+        value, iterations, converged, rule_evaluations = result
         if not converged and raise_on_divergence:
             raise DivergenceError(
                 f"{self.strategy} evaluation over {semiring.name} did not "

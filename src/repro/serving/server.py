@@ -246,7 +246,9 @@ class _CircuitEntry:
         if batcher is None:
             def flush(assignments: List) -> List:
                 self._fault_gate()
-                return self.compiled.evaluate_batch(semiring, assignments)
+                return self.compiled.evaluate_batch(
+                    semiring, assignments, backend=self.session.config.backend
+                )
 
             batcher = LaneBatcher(flush, lane_width=self.lane_width, max_delay=self.max_delay)
             self.numeric_batchers[name] = batcher
@@ -758,7 +760,9 @@ class CircuitServer:
                 assignment = dict(base)
                 assignment.update(_parse_weights(raw, "each assignment"))
                 assignments.append(assignment)
-            values = entry.compiled.evaluate_batch(semiring, assignments)
+            values = entry.compiled.evaluate_batch(
+                semiring, assignments, backend=entry.session.config.backend
+            )
             return {"values": values}
         assignment = dict(base)
         assignment.update(_parse_weights(body.get("weights"), "'weights'"))

@@ -1,0 +1,1 @@
+"""Cross-backend equivalence tests (see test_vectorized.py)."""
