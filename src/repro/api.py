@@ -39,6 +39,12 @@ from .config import (
 from .constructions.auto import ConstructionChoice, provenance_circuit
 from .constructions.fringe import fringe_circuit
 from .constructions.generic import generic_circuit
+from .datalog.analysis import (
+    AnalysisReport,
+    ProgramValidationError,
+    analyze_program,
+    prune_unreachable,
+)
 from .datalog.ast import DatalogError, Fact, Program
 from .datalog.database import Database
 from .datalog.evaluation import EvaluationResult
@@ -56,8 +62,10 @@ from .semirings.base import Semiring
 __all__ = [
     "ExecutionConfig",
     "MaintenancePolicy",
+    "ProgramValidationError",
     "Session",
     "StreamSession",
+    "analyze_program",
     "solve",
     "program_fingerprint",
     "database_fingerprint",
@@ -119,14 +127,34 @@ class Session:
     The session never mutates its database; callers who mutate it
     should start a new session (fingerprints make staleness
     detectable -- the serving layer keys its cache on them).
+
+    ``strict=True`` runs the full static analyzer
+    (:func:`repro.datalog.analysis.analyze_program`) at construction
+    and raises :class:`~repro.datalog.analysis.ProgramValidationError`
+    on any error-severity diagnostic; :meth:`analyze` returns the full
+    report (optionally semiring-aware) on demand.  With
+    ``config.prune`` set, rules unreachable from the target are
+    dropped before grounding (:meth:`plan_program`); reachable facts
+    keep exactly their unpruned values.
     """
 
-    def __init__(self, program: Program, database: Database, config: ConfigLike = None):
+    def __init__(
+        self,
+        program: Program,
+        database: Database,
+        config: ConfigLike = None,
+        strict: bool = False,
+    ):
         self.program = program
         self.database = database
         self.config = coerce_config(config)
+        if strict:
+            report = analyze_program(program, database)
+            if not report.ok:
+                raise ProgramValidationError(report.errors())
         self._engine = FixpointEngine(config=self.config.evolve(construction=None))
         self._ground: Optional[Union[GroundProgram, ColumnarGroundProgram]] = None
+        self._plan: Optional[Program] = None
         self._choices: Dict[Fact, ConstructionChoice] = {}
         self._fingerprint: Optional[Tuple[str, str, str]] = None
         self._stream: Optional["StreamSession"] = None
@@ -146,13 +174,39 @@ class Session:
 
     # -- fixpoint evaluation -------------------------------------------
 
+    @property
+    def plan_program(self) -> Program:
+        """The program the fixpoint plan runs: dead-rule-pruned when
+        ``config.prune`` is set, the full program otherwise."""
+        if self._plan is None:
+            self._plan = (
+                prune_unreachable(self.program) if self.config.prune else self.program
+            )
+        return self._plan
+
+    def analyze(self, semiring: Optional[Semiring] = None) -> AnalysisReport:
+        """The static analyzer's full report for this session's pair.
+
+        Passing a *semiring* arms divergence prediction (DL006), which
+        reuses the session's cached grounding when one exists.
+        """
+        ground = self._ground if self.program is self.plan_program else None
+        return analyze_program(
+            self.program,
+            database=self.database,
+            semiring=semiring,
+            ground=ground,
+            config=self.config,
+        )
+
     def ground(self) -> Union[GroundProgram, ColumnarGroundProgram]:
         """The cached grounding, in the strategy's native representation."""
         if self._ground is None:
+            program = self.plan_program
             if self.config.resolved_strategy == "columnar":
-                self._ground = columnar_grounding(self.program, self.database)
+                self._ground = columnar_grounding(program, self.database)
             else:
-                self._ground = relevant_grounding(self.program, self.database, config=self.config)
+                self._ground = relevant_grounding(program, self.database, config=self.config)
         return self._ground
 
     def solve(
@@ -164,7 +218,7 @@ class Session:
     ) -> EvaluationResult:
         """Least-fixpoint evaluation over *semiring* (cached grounding)."""
         return self._engine.evaluate(
-            self.program,
+            self.plan_program,
             self.database,
             semiring,
             weights=weights,
@@ -586,6 +640,7 @@ def solve(
     ground: Optional[Union[GroundProgram, ColumnarGroundProgram]] = None,
     max_iterations: Optional[int] = None,
     raise_on_divergence: bool = False,
+    strict: bool = False,
 ) -> EvaluationResult:
     """One-shot fixpoint evaluation through the unified facade.
 
@@ -597,9 +652,22 @@ def solve(
         result = solve(program, db, TROPICAL,
                        config=ExecutionConfig(engine="columnar", strategy="columnar"))
 
+    ``strict=True`` runs the full semiring-aware static analyzer
+    first and raises
+    :class:`~repro.datalog.analysis.ProgramValidationError` on any
+    error diagnostic -- including a predicted divergence (DL006), so a
+    COUNTING fixpoint over cyclic data fails before a single round
+    runs instead of burning the iteration budget.
+
     For repeated queries against the same pair, build a
     :class:`Session` instead.
     """
+    if strict:
+        report = analyze_program(
+            program, database=database, semiring=semiring, ground=ground, config=config
+        )
+        if not report.ok:
+            raise ProgramValidationError(report.errors())
     engine = FixpointEngine(config=coerce_config(config).evolve(construction=None))
     return engine.evaluate(
         program,

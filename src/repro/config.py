@@ -105,6 +105,11 @@ class ExecutionConfig:
     construction: Optional[str] = None
     optimize_depth: bool = False
     backend: Optional[str] = None
+    #: Drop rules unreachable from the target before grounding
+    #: (:func:`repro.datalog.analysis.prune_unreachable`).  Off by
+    #: default: pruning is exact for the target cone but removes
+    #: unreachable IDB predicates from the result set entirely.
+    prune: bool = False
 
     def __post_init__(self) -> None:
         for field in ("engine", "strategy", "construction", "backend"):

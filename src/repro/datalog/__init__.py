@@ -14,7 +14,23 @@ Prop 2.4), CQ expansions of linear programs (Thm 4.5) and a library
 of the paper's example programs.
 """
 
-from .ast import Atom, Constant, DatalogError, Fact, Program, Rule, Term, Variable
+from .analysis import (
+    AnalysisReport,
+    DependencyReport,
+    Diagnostic,
+    DivergencePrediction,
+    ProgramValidationError,
+    analyze_program,
+    dead_rules,
+    dependency_report,
+    predict_divergence,
+    prune_unreachable,
+    reachable_predicates,
+    require_valid,
+    tarjan_sccs,
+    validation_diagnostics,
+)
+from .ast import Atom, Constant, DatalogError, Fact, Program, Rule, SourceSpan, Term, Variable
 from .database import Database
 from .evaluation import (
     DivergenceError,
@@ -98,7 +114,22 @@ __all__ = [
     "Rule",
     "Program",
     "DatalogError",
+    "SourceSpan",
     "Database",
+    "Diagnostic",
+    "DependencyReport",
+    "DivergencePrediction",
+    "AnalysisReport",
+    "ProgramValidationError",
+    "analyze_program",
+    "validation_diagnostics",
+    "require_valid",
+    "predict_divergence",
+    "dependency_report",
+    "tarjan_sccs",
+    "reachable_predicates",
+    "dead_rules",
+    "prune_unreachable",
     "parse_program",
     "parse_rule",
     "parse_atom",

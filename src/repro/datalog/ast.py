@@ -24,11 +24,34 @@ __all__ = [
     "Rule",
     "Program",
     "DatalogError",
+    "SourceSpan",
 ]
 
 
 class DatalogError(ValueError):
     """Malformed program (unsafe rule, unknown target, arity clash...)."""
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """Where a parsed construct came from (1-based line/column).
+
+    The parser (:mod:`repro.datalog.parser`) attaches spans to the
+    atoms and rules it builds so the static analyzer
+    (:mod:`repro.datalog.analysis`) can point its diagnostics at the
+    offending source.  Programs built directly from the AST carry no
+    spans (``span is None`` everywhere) and every diagnostic degrades
+    gracefully to rule ``repr``.
+    """
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+    source: str = ""
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.column}"
 
 
 @dataclass(frozen=True)
@@ -56,14 +79,23 @@ Term = Union[Variable, Constant]
 
 @dataclass(frozen=True)
 class Atom:
-    """An atom ``R(t₁, ..., tₖ)``."""
+    """An atom ``R(t₁, ..., tₖ)``.
+
+    ``span`` is parser-provided provenance and deliberately *not* a
+    dataclass field: two atoms parsed from different places compare
+    (and hash) equal, exactly like AST-built atoms.
+    """
 
     predicate: str
     terms: Tuple[Term, ...]
 
-    def __init__(self, predicate: str, terms: Iterable[Term]):
+    span = None  # Optional[SourceSpan]; not a field, excluded from eq/hash
+
+    def __init__(self, predicate: str, terms: Iterable[Term], span: "Optional[SourceSpan]" = None):
         object.__setattr__(self, "predicate", predicate)
         object.__setattr__(self, "terms", tuple(terms))
+        if span is not None:
+            object.__setattr__(self, "span", span)
 
     @property
     def arity(self) -> int:
@@ -129,16 +161,24 @@ class Fact:
 @dataclass(frozen=True)
 class Rule:
     """A rule ``head :- body``; an empty body is not allowed here
-    (EDB facts live in the database, not the program)."""
+    (EDB facts live in the database, not the program).
+
+    ``span`` mirrors :attr:`Atom.span`: parser provenance, not a
+    dataclass field, excluded from equality and hashing.
+    """
 
     head: Atom
     body: Tuple[Atom, ...]
 
-    def __init__(self, head: Atom, body: Iterable[Atom]):
+    span = None  # Optional[SourceSpan]; not a field, excluded from eq/hash
+
+    def __init__(self, head: Atom, body: Iterable[Atom], span: "Optional[SourceSpan]" = None):
         object.__setattr__(self, "head", head)
         object.__setattr__(self, "body", tuple(body))
         if not self.body:
             raise DatalogError(f"rule {head} has an empty body")
+        if span is not None:
+            object.__setattr__(self, "span", span)
 
     @property
     def variables(self) -> FrozenSet[Variable]:
@@ -252,7 +292,7 @@ class Program:
     target: str
     _idbs: FrozenSet[str] = field(init=False, repr=False)
 
-    def __init__(self, rules: Iterable[Rule], target: Optional[str] = None):
+    def __init__(self, rules: Iterable[Rule], target: Optional[str] = None, validate: bool = True):
         self.rules = tuple(rules)
         if not self.rules:
             raise DatalogError("a program needs at least one rule")
@@ -261,18 +301,26 @@ class Program:
         self.target = target if target is not None else self.rules[0].head.predicate
         if self.target not in idbs:
             raise DatalogError(f"target {self.target!r} is not an IDB of the program")
-        self._validate()
+        if validate:
+            self._validate()
 
     def _validate(self) -> None:
+        """The construction-time subset of the static analyzer: safety
+        (DL001) and arity consistency (DL002).  ``validate=False`` on
+        the constructor skips it -- the escape hatch the analyzer tests
+        use to build deliberately broken programs; the fixpoint entry
+        points re-check through
+        :func:`repro.datalog.analysis.require_valid` so an invalid
+        program cannot reach evaluation unnoticed."""
         arities: Dict[str, int] = {}
         for rule in self.rules:
             if not rule.is_safe():
-                raise DatalogError(f"unsafe rule (head variable not in body): {rule}")
+                raise DatalogError(f"DL001: unsafe rule (head variable not in body): {rule}")
             for atom in (rule.head, *rule.body):
                 known = arities.setdefault(atom.predicate, atom.arity)
                 if known != atom.arity:
                     raise DatalogError(
-                        f"predicate {atom.predicate!r} used with arities {known} and {atom.arity}"
+                        f"DL002: predicate {atom.predicate!r} used with arities {known} and {atom.arity}"
                     )
 
     # -- predicate sets --------------------------------------------------

@@ -137,6 +137,7 @@ def naive_evaluation(
     strategy: Optional[str] = None,
     grounding_engine: Optional[str] = None,
     config: ConfigLike = None,
+    validate: bool = True,
 ) -> EvaluationResult:
     """Fixpoint evaluation of *program* on *database* over *semiring*.
 
@@ -161,6 +162,12 @@ def naive_evaluation(
     spellings of ``config=ExecutionConfig(strategy=..., engine=...)``
     (the :mod:`repro.api` facade, DESIGN.md §10); they still work but
     warn.
+
+    ``validate=True`` (the default) runs the DL001/DL002 static checks
+    before grounding and raises
+    :class:`~repro.datalog.analysis.ProgramValidationError` on an
+    unsafe or arity-inconsistent program; ``validate=False`` is the
+    escape hatch for tests that need to execute such programs anyway.
     """
     from .seminaive import FixpointEngine
 
@@ -178,6 +185,7 @@ def naive_evaluation(
         ground=ground,
         max_iterations=max_iterations,
         raise_on_divergence=raise_on_divergence,
+        validate=validate,
     )
 
 

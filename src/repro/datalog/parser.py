@@ -15,6 +15,14 @@ Identifiers starting with an uppercase letter or ``_`` are variables
 strings are constants.  Predicate names are taken verbatim, so both
 ``T(X,Y) :- E(X,Y).`` and ``path(X,Y) :- edge(X,Y).`` work.
 
+Diagnostics: every :class:`ParseError` carries 1-based ``line`` and
+``column`` (plus the raw byte ``offset`` and the offending
+``source_line``) so front ends -- the ``python -m repro.lint`` CLI and
+the server's ``/lint`` route -- can point at the exact spot.  Parsed
+atoms and rules keep a :class:`~repro.datalog.ast.SourceSpan` on their
+``span`` attribute for the static analyzer
+(:mod:`repro.datalog.analysis`) to report against.
+
 Example::
 
     >>> parse_program('''
@@ -28,16 +36,65 @@ Example::
 
 from __future__ import annotations
 
+import bisect
 import re
 from typing import Iterator, List, Optional, Tuple
 
-from .ast import Atom, Constant, DatalogError, Program, Rule, Term, Variable
+from .ast import Atom, Constant, DatalogError, Program, Rule, SourceSpan, Term, Variable
 
 __all__ = ["parse_program", "parse_rule", "parse_atom", "ParseError"]
 
 
 class ParseError(DatalogError):
-    """Raised on malformed Datalog source, with position information."""
+    """Malformed Datalog source, with position information.
+
+    ``line``/``column`` are 1-based; ``offset`` is the 0-based
+    character offset into the source; ``source_line`` is the text of
+    the offending line (no trailing newline).  The message embeds the
+    position so plain ``str(exc)`` is already actionable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        offset: int = 0,
+        line: int = 1,
+        column: int = 1,
+        source_line: str = "",
+    ):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.offset = offset
+        self.line = line
+        self.column = column
+        self.source_line = source_line
+
+
+class _SourceMap:
+    """Offset → (line, column) translation plus line-text extraction."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.line_starts = [0]
+        for match in re.finditer(r"\n", text):
+            self.line_starts.append(match.end())
+
+    def position(self, offset: int) -> Tuple[int, int]:
+        index = bisect.bisect_right(self.line_starts, offset) - 1
+        return index + 1, offset - self.line_starts[index] + 1
+
+    def line_text(self, line: int) -> str:
+        start = self.line_starts[line - 1]
+        end = self.text.find("\n", start)
+        return self.text[start:] if end < 0 else self.text[start:end]
+
+    def error(self, message: str, offset: int) -> ParseError:
+        line, column = self.position(offset)
+        return ParseError(message, offset, line, column, self.line_text(line))
+
+    def span(self, start: int, end: int) -> SourceSpan:
+        line, column = self.position(start)
+        end_line, end_column = self.position(max(start, end - 1))
+        return SourceSpan(line, column, end_line, end_column + 1, self.line_text(line))
 
 
 _TOKEN_SPEC = [
@@ -56,12 +113,12 @@ _TOKEN_SPEC = [
 _TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
 
 
-def _tokenize(text: str) -> Iterator[Tuple[str, str, int]]:
+def _tokenize(text: str, source: _SourceMap) -> Iterator[Tuple[str, str, int]]:
     position = 0
     while position < len(text):
         match = _TOKEN_RE.match(text, position)
         if match is None:
-            raise ParseError(f"unexpected character {text[position]!r} at offset {position}")
+            raise source.error(f"unexpected character {text[position]!r}", position)
         kind = match.lastgroup
         value = match.group()
         position = match.end()
@@ -73,7 +130,8 @@ def _tokenize(text: str) -> Iterator[Tuple[str, str, int]]:
 
 class _Parser:
     def __init__(self, text: str):
-        self._tokens: List[Tuple[str, str, int]] = list(_tokenize(text))
+        self._source = _SourceMap(text)
+        self._tokens: List[Tuple[str, str, int]] = list(_tokenize(text, self._source))
         self._index = 0
 
     def _peek(self) -> Tuple[str, str, int]:
@@ -84,12 +142,15 @@ class _Parser:
         self._index += 1
         return token
 
-    def _expect(self, kind: str) -> str:
+    def _expect(self, kind: str) -> Tuple[str, int]:
         actual_kind, value, offset = self._peek()
         if actual_kind != kind:
-            raise ParseError(f"expected {kind} at offset {offset}, found {actual_kind} {value!r}")
+            raise self._source.error(f"expected {kind}, found {actual_kind} {value!r}", offset)
         self._advance()
-        return value
+        return value, offset
+
+    def _error(self, message: str, offset: int) -> ParseError:
+        return self._source.error(message, offset)
 
     def parse_term(self) -> Term:
         kind, value, offset = self._advance()
@@ -101,27 +162,28 @@ class _Parser:
             return Constant(int(value))
         if kind == "STRING":
             return Constant(value[1:-1])
-        raise ParseError(f"expected a term at offset {offset}, found {kind} {value!r}")
+        raise self._error(f"expected a term, found {kind} {value!r}", offset)
 
     def parse_atom(self) -> Atom:
-        predicate = self._expect("IDENT")
+        predicate, start = self._expect("IDENT")
         self._expect("LPAREN")
         terms = [self.parse_term()]
         while self._peek()[0] == "COMMA":
             self._advance()
             terms.append(self.parse_term())
-        self._expect("RPAREN")
-        return Atom(predicate, terms)
+        _, rparen = self._expect("RPAREN")
+        return Atom(predicate, terms, span=self._source.span(start, rparen + 1))
 
     def parse_rule(self) -> Rule:
+        start = self._peek()[2]
         head = self.parse_atom()
         self._expect("IMPLIES")
         body = [self.parse_atom()]
         while self._peek()[0] in ("COMMA", "AND"):
             self._advance()
             body.append(self.parse_atom())
-        self._expect("DOT")
-        return Rule(head, body)
+        _, dot = self._expect("DOT")
+        return Rule(head, body, span=self._source.span(start, dot + 1))
 
     def parse_rules(self) -> List[Rule]:
         rules = []
@@ -134,8 +196,9 @@ def parse_atom(text: str) -> Atom:
     """Parse a single atom, e.g. ``"T(X, Y)"``."""
     parser = _Parser(text)
     atom = parser.parse_atom()
-    if parser._peek()[0] != "EOF":
-        raise ParseError(f"trailing input after atom: {text!r}")
+    kind, value, offset = parser._peek()
+    if kind != "EOF":
+        raise parser._error(f"trailing input after atom: found {kind} {value!r}", offset)
     return atom
 
 
@@ -143,14 +206,21 @@ def parse_rule(text: str) -> Rule:
     """Parse a single rule, e.g. ``"T(X,Y) :- T(X,Z), E(Z,Y)."``."""
     parser = _Parser(text)
     rule = parser.parse_rule()
-    if parser._peek()[0] != "EOF":
-        raise ParseError(f"trailing input after rule: {text!r}")
+    kind, value, offset = parser._peek()
+    if kind != "EOF":
+        raise parser._error(f"trailing input after rule: found {kind} {value!r}", offset)
     return rule
 
 
-def parse_program(text: str, target: Optional[str] = None) -> Program:
-    """Parse a whole program; *target* defaults to the first rule's head."""
+def parse_program(text: str, target: Optional[str] = None, validate: bool = True) -> Program:
+    """Parse a whole program; *target* defaults to the first rule's head.
+
+    ``validate=False`` skips the construction-time safety/arity checks
+    (the static analyzer's escape hatch: ``python -m repro.lint`` parses
+    broken programs unvalidated so it can *report* DL001/DL002 instead
+    of crashing on them).
+    """
     rules = _Parser(text).parse_rules()
     if not rules:
         raise ParseError("no rules found")
-    return Program(rules, target)
+    return Program(rules, target, validate=validate)

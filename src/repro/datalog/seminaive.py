@@ -55,6 +55,7 @@ from ..config import (
     merge_legacy_knobs,
 )
 from ..semirings.base import Semiring
+from .analysis import prune_unreachable, require_valid
 from .ast import Fact, Program
 from .database import Database
 from .evaluation import DivergenceError, EvaluationResult, _naive_fixpoint
@@ -153,6 +154,7 @@ class FixpointEngine:
         ground: Optional[GroundProgram] = None,
         max_iterations: Optional[int] = None,
         raise_on_divergence: bool = False,
+        validate: bool = True,
     ) -> EvaluationResult:
         """Least fixpoint of *program* on *database* over *semiring*.
 
@@ -165,7 +167,23 @@ class FixpointEngine:
         each strategy lowers or decodes the other form at the
         boundary), ``max_iterations`` defaults to
         ``max(#IDB facts, 1) + 2`` and guards non-stable semirings.
+
+        ``validate=True`` (the default) re-runs the DL001/DL002 checks
+        of :func:`repro.datalog.analysis.require_valid` before any
+        grounding, so an unsafe or arity-inconsistent program --
+        constructed with ``validate=False`` or mutated after the fact
+        -- fails with a :class:`~repro.datalog.analysis
+        .ProgramValidationError` instead of a late KeyError or a
+        silently wrong answer; ``validate=False`` is the escape hatch.
+        With ``config.prune`` set and no precomputed *ground*, rules
+        unreachable from the target are dropped
+        (:func:`repro.datalog.analysis.prune_unreachable`) before
+        grounding; values of reachable facts are preserved exactly.
         """
+        if validate:
+            require_valid(program)
+        if self.config.prune and ground is None:
+            program = prune_unreachable(program)
         if self.strategy == COLUMNAR:
             return self._evaluate_columnar(
                 program,
@@ -304,6 +322,7 @@ def seminaive_evaluation(
     raise_on_divergence: bool = False,
     grounding_engine: Optional[str] = None,
     config: ConfigLike = None,
+    validate: bool = True,
 ) -> EvaluationResult:
     """Explicitly semi-naive evaluation; signature mirrors
     :func:`repro.datalog.evaluation.naive_evaluation`.
@@ -327,6 +346,7 @@ def seminaive_evaluation(
         ground=ground,
         max_iterations=max_iterations,
         raise_on_divergence=raise_on_divergence,
+        validate=validate,
     )
 
 

@@ -425,3 +425,34 @@ class CircuitClient:
         if max_iterations is not None:
             body["max_iterations"] = max_iterations
         return await self._call("POST", "/solve", body)
+
+    async def lint(
+        self,
+        program: object,
+        facts: Iterable = (),
+        *,
+        target: Optional[str] = None,
+        weights: Optional[Mapping] = None,
+        semiring: Optional[str] = None,
+    ) -> dict:
+        """Run the server-side static analyzer (``POST /lint``).
+
+        Returns the analysis report JSON (``ok``, DL-coded
+        ``diagnostics``, ``dependencies``, and -- when *semiring* is
+        given -- ``divergence``); a syntactically broken program
+        answers ``ok: false`` with a ``parse_error`` object instead of
+        an HTTP error.
+        """
+        body: Dict[str, Any] = {
+            "program": program if isinstance(program, (str, list)) else str(program),
+        }
+        wired = [_wire_fact(f) for f in facts]
+        if wired:
+            body["facts"] = wired
+        if target is not None:
+            body["target"] = target
+        if weights is not None:
+            body["weights"] = _wire_weights(weights)
+        if semiring is not None:
+            body["semiring"] = semiring
+        return await self._call("POST", "/lint", body)

@@ -65,11 +65,12 @@ from ..api import Session
 from ..config import ExecutionConfig
 from .batcher import BatcherClosed, LaneBatcher
 from .resilience import Deadline, IdempotencyCache, ResilienceConfig, ResilienceStats
+from ..datalog.analysis import ProgramValidationError, analyze_program, require_valid
 from ..datalog.ast import DatalogError, Fact
 from ..datalog.database import Database
 from ..datalog.evaluation import DivergenceError
 from ..datalog.incremental import MaintenancePolicy
-from ..datalog.parser import parse_atom, parse_program
+from ..datalog.parser import ParseError, parse_atom, parse_program
 from ..testing.faults import FLUSH_RAISE, FLUSH_SLOW, HANDLER_STALL, PARTIAL_WRITE, SOCKET_RESET
 from ..semirings import (
     ARCTIC,
@@ -637,6 +638,8 @@ class CircuitServer:
                 return 200, self._stats()
             if method == "POST" and parts == ["solve"]:
                 return 200, self._solve(self._require_body(body))
+            if method == "POST" and parts == ["lint"]:
+                return 200, self._lint(self._require_body(body))
             if method == "POST" and parts == ["circuits"]:
                 return 200, self._register(self._require_body(body))
             if method == "POST" and len(parts) == 3 and parts[0] == "circuits":
@@ -657,6 +660,19 @@ class CircuitServer:
             return 503, {"error": f"shutting down: {exc}"}
         except DivergenceError as exc:
             return 422, {"error": f"fixpoint diverged: {exc}"}
+        except ProgramValidationError as exc:
+            # Structured 400: every DL-coded diagnostic, machine-readable.
+            return 400, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "diagnostics": [d.to_json() for d in exc.diagnostics],
+            }
+        except ParseError as exc:
+            return 400, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "line": exc.line,
+                "column": exc.column,
+                "source_line": exc.source_line,
+            }
         except (DatalogError, KeyError, TypeError, ValueError) as exc:
             return 400, {"error": f"{type(exc).__name__}: {exc}"}
         except Exception as exc:  # never a torn connection for a handler bug
@@ -684,7 +700,11 @@ class CircuitServer:
         if not program_field:
             raise ServingError(400, "missing 'program' (rule text or list of rules)")
         text = program_field if isinstance(program_field, str) else "\n".join(program_field)
-        program = parse_program(text, target=body.get("target"))
+        # Parse unvalidated, then gate through the analyzer: a bad
+        # program yields a ProgramValidationError whose DL-coded
+        # diagnostics _dispatch serializes into the structured 400.
+        program = parse_program(text, target=body.get("target"), validate=False)
+        require_valid(program)
         database = Database()
         for wire_fact in body.get("facts", ()):
             database.add_fact(fact_from_wire(wire_fact))
@@ -853,6 +873,46 @@ class CircuitServer:
             "size": entry.compiled.size,
             "database_fingerprint": entry.session.fingerprint[1],
         }
+
+    def _lint(self, body: Mapping[str, Any]) -> dict:
+        """``POST /lint``: the static analyzer as a service.
+
+        Always 200 with the :class:`~repro.datalog.analysis
+        .AnalysisReport` JSON -- diagnostics are the *result* of a lint
+        request, not a failure of it; even an unparseable program
+        answers 200 with ``ok: false`` and a ``parse_error`` object.
+        Optional ``facts``/``weights`` arm the database passes and
+        optional ``semiring`` arms divergence prediction (DL006).
+        """
+        program_field = body.get("program")
+        if not program_field:
+            raise ServingError(400, "missing 'program' (rule text or list of rules)")
+        text = program_field if isinstance(program_field, str) else "\n".join(program_field)
+        try:
+            program = parse_program(text, target=body.get("target"), validate=False)
+        except ParseError as exc:
+            return {
+                "ok": False,
+                "diagnostics": [],
+                "parse_error": {
+                    "message": str(exc),
+                    "line": exc.line,
+                    "column": exc.column,
+                    "source_line": exc.source_line,
+                },
+            }
+        database = None
+        if body.get("facts") or body.get("weights"):
+            database = Database()
+            for wire_fact in body.get("facts", ()):
+                database.add_fact(fact_from_wire(wire_fact))
+            for fact, weight in _parse_weights(body.get("weights"), "'weights'").items():
+                database.set_weight(fact, weight)
+        semiring = None
+        if body.get("semiring"):
+            _, semiring = _resolve_semiring(body)
+        report = analyze_program(program, database=database, semiring=semiring)
+        return report.to_json()
 
     def _solve(self, body: Mapping[str, Any]) -> dict:
         session, _config = self._build_problem(body)

@@ -120,3 +120,55 @@ def test_rule_repr_round_trips_through_parser():
     for program in (transitive_closure(), dyck1()):
         text = "\n".join(repr(rule) + "." for rule in program.rules)
         assert parse_program(text, target=program.target).rules == program.rules
+
+
+# -- positions: ParseError line/column and parsed spans --------------------
+
+
+def test_parse_error_carries_position_and_source_line():
+    text = "T(X, Y) :- E(X, Y).\nT(X, Y) :- T(X, Z) E(Z, Y)."
+    with pytest.raises(ParseError) as excinfo:
+        parse_program(text)
+    error = excinfo.value
+    assert error.line == 2
+    assert error.source_line == "T(X, Y) :- T(X, Z) E(Z, Y)."
+    # The column points at the unexpected `E` (1-based).
+    assert error.source_line[error.column - 1] == "E"
+    assert "line 2" in str(error)
+
+
+def test_parse_error_position_on_first_line():
+    with pytest.raises(ParseError) as excinfo:
+        parse_atom("R(X,")
+    assert excinfo.value.line == 1
+    assert excinfo.value.column >= 1
+
+
+def test_rules_and_atoms_carry_source_spans():
+    text = "% comment\nT(X, Y) :- E(X, Y).\n\nT(X, Y) :- T(X, Z), E(Z, Y).\n"
+    program = parse_program(text)
+    first, second = program.rules
+    assert first.span is not None and first.span.line == 2
+    assert second.span.line == 4
+    assert first.span.source == "T(X, Y) :- E(X, Y)."
+    # Atom spans point inside their rule's line.
+    body_atom = second.body[1]
+    assert body_atom.span.line == 4
+    assert text.splitlines()[3][body_atom.span.column - 1 :].startswith("E(Z, Y)")
+
+
+def test_ast_built_programs_have_no_spans():
+    from repro.datalog import transitive_closure
+
+    for rule in transitive_closure().rules:
+        assert rule.span is None
+        assert rule.head.span is None
+
+
+def test_spans_are_excluded_from_equality():
+    parsed = parse_program("T(X, Y) :- E(X, Y).\nT(X, Y) :- T(X, Z), E(Z, Y).")
+    from repro.datalog import transitive_closure
+
+    library = transitive_closure()
+    assert parsed.rules == library.rules
+    assert hash(parsed.rules[0]) == hash(library.rules[0])

@@ -325,3 +325,103 @@ def test_stats_payload_is_json_round_trippable():
         assert "tropical" in entry["numeric_lanes"]
 
     run(with_server(scenario))
+
+
+# -- static analysis: /lint and structured validation errors ---------------
+
+
+def test_lint_route_clean_program():
+    async def scenario(host, port, client):
+        report = await client.lint(TC, EDGES, target="T")
+        assert report["ok"] is True
+        assert report["dependencies"]["recursion"] == "linear"
+        codes = {d["code"] for d in report["diagnostics"]}
+        assert "DL005" in codes  # the SCC report rides along as info
+
+    run(with_server(scenario))
+
+
+def test_lint_route_reports_dl_codes_not_http_errors():
+    async def scenario(host, port, client):
+        # Unsafe rule + arity clash: still HTTP 200, diagnostics in body.
+        report = await client.lint(
+            ["T(X, Y) :- E(X, X).", "U(X) :- T(X)."], target="T"
+        )
+        assert report["ok"] is False
+        codes = {d["code"] for d in report["diagnostics"]}
+        assert {"DL001", "DL002"} <= codes
+        # Errors come first in the ordered diagnostics list.
+        severities = [d["severity"] for d in report["diagnostics"]]
+        assert severities.index("error") == 0
+
+    run(with_server(scenario))
+
+
+def test_lint_route_predicts_divergence_with_semiring_and_facts():
+    async def scenario(host, port, client):
+        report = await client.lint(
+            TC, ["E(0,1)", "E(1,0)"], target="T", semiring="counting"
+        )
+        assert report["ok"] is False  # DL006 error: predicted divergence
+        assert report["divergence"]["verdict"] == "diverges"
+        assert "witness" in report["divergence"]
+        # Same data over an absorptive semiring is clean.
+        clean = await client.lint(
+            TC, ["E(0,1)", "E(1,0)"], target="T", semiring="boolean"
+        )
+        assert clean["ok"] is True
+        assert clean["divergence"]["verdict"] == "converges"
+
+    run(with_server(scenario))
+
+
+def test_lint_route_answers_parse_errors_inline():
+    async def scenario(host, port, client):
+        report = await client.lint("T(X, Y) :- E(X, Y", target="T")
+        assert report["ok"] is False
+        error = report["parse_error"]
+        assert error["line"] == 1 and error["column"] >= 1
+        assert error["source_line"] == "T(X, Y) :- E(X, Y"
+        status, _ = await client.request("POST", "/lint", {})
+        assert status == 400  # missing 'program' is still a client error
+
+    run(with_server(scenario))
+
+
+def test_register_rejects_invalid_program_with_structured_400():
+    async def scenario(host, port, client):
+        status, payload = await client.request(
+            "POST",
+            "/circuits",
+            {
+                "program": "T(X, Y) :- E(X, X).",
+                "facts": ["E(0,0)"],
+                "outputs": ["T(0,0)"],
+                "target": "T",
+            },
+        )
+        assert status == 400
+        assert "DL001" in payload["error"]
+        assert payload["diagnostics"][0]["code"] == "DL001"
+        assert payload["diagnostics"][0]["severity"] == "error"
+
+    run(with_server(scenario))
+
+
+def test_register_reports_parse_position_on_400():
+    async def scenario(host, port, client):
+        status, payload = await client.request(
+            "POST",
+            "/circuits",
+            {
+                "program": "T(X, Y) :- E(X, Y).\nT(X, Y) :- T(X, Z) E(Z, Y).",
+                "facts": ["E(0,1)"],
+                "outputs": ["T(0,1)"],
+                "target": "T",
+            },
+        )
+        assert status == 400
+        assert payload["line"] == 2
+        assert payload["source_line"].startswith("T(X, Y) :- T(X, Z)")
+
+    run(with_server(scenario))
